@@ -1,0 +1,39 @@
+"""Figure 1 bench: sampling-timeline comparison regenerated from real runs.
+
+The paper's Figure 1 is the conceptual picture: SMARTS samples uniformly,
+SimPoint takes one large interval per phase, PGSS places small samples
+phase-aware.  Regenerated claims: SMARTS takes the most samples, spaced
+periodically; SimPoint's detailed spans are few but large; PGSS takes
+fewer small samples than SMARTS.
+"""
+
+import numpy as np
+
+from repro.experiments import fig01_timeline as fig01
+
+from conftest import record
+
+
+def test_fig01_timeline(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(fig01.run, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "fig01", fig01.format_result(result))
+
+    # SMARTS: uniform spacing (low dispersion of gaps), more samples than
+    # PGSS.
+    gaps = np.diff(result["smarts_offsets"])
+    assert gaps.std() < 0.2 * gaps.mean()
+    assert result["n_pgss"] < result["n_smarts"]
+
+    # SimPoint: few large detailed spans.
+    assert result["n_simpoint"] <= 5
+    span_ops = sum(end - start for start, end in result["simpoint_spans"])
+    pgss_detail_ops = result["n_pgss"] * (
+        ctx.scale.smarts_detail + ctx.scale.smarts_warmup
+    )
+    assert span_ops > pgss_detail_ops
+
+    benchmark.extra_info["samples"] = {
+        "smarts": result["n_smarts"],
+        "simpoint_intervals": result["n_simpoint"],
+        "pgss": result["n_pgss"],
+    }

@@ -1,0 +1,25 @@
+"""Figure 6/7 bench: the (BBV change, IPC change) joint distribution.
+
+Paper claim regenerated: "BBV changes greater than approximately .05 pi
+radians typically correspond to a large change in IPC" — most mass sits in
+the small-change corner, and the .05 pi / .3 sigma region split catches the
+majority of significant IPC changes.
+"""
+
+from repro.experiments import fig07_change_distribution as fig07
+
+from conftest import record
+
+
+def test_fig07_change_distribution(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(fig07.run, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "fig07", fig07.format_result(result))
+
+    assert result["n_pairs"] > 100
+    # The Fig. 6 regions partition all pairs.
+    assert sum(result["regions"].values()) == result["n_pairs"]
+    # Most significant IPC changes are caught at the .05pi threshold.
+    assert result["big_change_detection"] > 0.5
+    benchmark.extra_info["detection_at_05pi"] = round(
+        result["big_change_detection"], 3
+    )

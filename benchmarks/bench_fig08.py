@@ -1,0 +1,26 @@
+"""Figure 8 bench: detection rate of significant IPC changes vs threshold.
+
+Paper claims regenerated: detection falls as the threshold rises, larger
+IPC changes are easier to catch, and there is a knee near .05 pi.
+"""
+
+from repro.experiments import fig08_detection_rate as fig08
+
+from conftest import record
+
+
+def test_fig08_detection_rate(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(fig08.run, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "fig08", fig08.format_result(result))
+
+    curves = result["curves"]
+    # Monotone-ish decay with threshold for every sigma level.
+    for series in curves.values():
+        assert series[0] == 1.0
+        assert series[-1] < 0.5
+    # Bigger IPC changes are caught at least as often (mid-threshold).
+    mid = len(result["thresholds_pi"]) // 3
+    assert curves["0.5"][mid] >= curves["0.1"][mid] - 0.05
+    # Knee in the small-threshold region, as in the paper.
+    assert result["knee_pi"] <= 0.15
+    benchmark.extra_info["knee_pi"] = result["knee_pi"]

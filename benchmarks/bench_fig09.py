@@ -1,0 +1,27 @@
+"""Figure 9 bench: false-positive share of detected phase changes.
+
+Paper claims regenerated: false positives fall as the threshold rises (the
+reason not to set it at zero) and rise with the IPC-significance bar.
+"""
+
+from repro.experiments import fig09_false_positives as fig09
+
+from conftest import record
+
+
+def test_fig09_false_positives(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(fig09.run, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "fig09", fig09.format_result(result))
+
+    thresholds = result["thresholds_pi"]
+    for series in result["curves"].values():
+        # Compare the small-threshold region with the large-threshold one.
+        early = sum(series[1:4]) / 3
+        late = sum(series[-4:-1]) / 3
+        assert late <= early + 0.05, (early, late)
+    # A stricter significance bar makes more detections "false".
+    idx = thresholds.index(0.1)
+    assert result["curves"]["0.5"][idx] >= result["curves"]["0.1"][idx] - 1e-9
+    benchmark.extra_info["fp_at_05pi_3sigma"] = round(
+        result["curves"]["0.3"][thresholds.index(0.06)], 3
+    )

@@ -1,0 +1,54 @@
+"""Figure 11 bench: the PGSS period x threshold sweep over ten benchmarks.
+
+Paper claims regenerated:
+
+* accuracy "varies widely between benchmarks and with changes in the
+  parameters";
+* the best overall configuration pairs a mid-length period with a tight
+  threshold (the paper: 1M at .05 pi; here the scaled mid period);
+* 179.art and 181.mcf perform very poorly at the shortest BBV period and
+  improve at longer ones (their micro-phases straddle short periods).
+"""
+
+from repro.experiments import fig11_pgss_sweep as fig11
+
+from conftest import record
+
+
+def test_fig11_pgss_sweep(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(fig11.run, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "fig11", fig11.format_result(result))
+
+    grid = result["grid"]
+    assert len(grid) == len(ctx.scale.pgss_periods) * len(ctx.scale.thresholds)
+
+    # Parameter sensitivity: the spread between the best and worst
+    # configurations is large.
+    a_means = [g["a_mean"] for g in grid]
+    assert max(a_means) > 1.5 * min(a_means)
+
+    # art/mcf short-period pathology: their error at the shortest period
+    # (averaged over thresholds) exceeds their best long-period error.
+    def mean_err(benchmark_name, period):
+        errs = [
+            g["errors"][benchmark_name] for g in grid if g["period"] == period
+        ]
+        return sum(errs) / len(errs)
+
+    periods = ctx.scale.pgss_periods
+    for name in ("179.art", "181.mcf"):
+        if name not in ctx.benchmarks:
+            continue
+        short = mean_err(name, periods[0])
+        best_long = min(
+            g["errors"][name] for g in grid if g["period"] != periods[0]
+        )
+        assert short > best_long, (name, short, best_long)
+
+    benchmark.extra_info["best_overall"] = (
+        f"{result['best_overall']['period']}/"
+        f"{result['best_overall']['threshold_pi']}"
+    )
+    benchmark.extra_info["best_a_mean_pct"] = round(
+        result["best_overall"]["a_mean"], 2
+    )

@@ -1,0 +1,44 @@
+"""Figure 13 bench: simulation rates and total suite simulation time.
+
+Paper claims regenerated:
+
+* BBV tracking costs almost nothing: ~1% on detailed modes, negligible on
+  functional warming (we allow a slightly looser bound for Python timing
+  noise);
+* functional fast-forwarding is only a small factor faster than detailed
+  simulation in this class of simulator (the paper: ~4x), so wall-clock
+  gains are smaller than detailed-op gains;
+* PGSS's combined detailed warming + simulation time is a tiny fraction of
+  any technique's total.
+"""
+
+from repro.experiments import fig13_simulation_time as fig13
+
+from conftest import record
+
+
+def test_fig13_simulation_time(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(fig13.run, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "fig13", fig13.format_result(result))
+
+    rates = result["rates"]
+    # Mode-speed ordering.
+    assert rates["func_fast"] > rates["func_warm"] > 0
+    assert rates["detail"] > 0
+    # BBV overhead small on detail and warming.
+    assert rates["detail+bbv"] > 0.7 * rates["detail"]
+    assert rates["func_warm+bbv"] > 0.7 * rates["func_warm"]
+    # Fast-forward vs detail gap is modest (paper: ~4x), bounded sanely.
+    assert 1.0 < result["ff_vs_detail_ratio"] < 40.0
+
+    totals = result["totals"]
+    # PGSS's detailed time is a small share of its total.
+    assert result["pgss_detail_seconds"] < 0.5 * totals["PGSS"]
+
+    benchmark.extra_info["ff_vs_detail"] = round(result["ff_vs_detail_ratio"], 1)
+    benchmark.extra_info["pgss_detail_seconds"] = round(
+        result["pgss_detail_seconds"], 2
+    )
+    benchmark.extra_info["totals_seconds"] = {
+        k: round(v, 1) for k, v in totals.items()
+    }

@@ -1,0 +1,74 @@
+"""Future-work bench: PGSS on a shared-L2 chip multiprocessor.
+
+Paper Section 7: "Work is ongoing to extend PGSS to multithreaded and
+multicore processors."  This bench co-runs a compute-bound and a
+memory-bound benchmark on two cores sharing one L2, obtains per-core
+ground truth from a fully detailed co-run, and checks that per-core PGSS
+estimates track it with a small detail fraction.
+"""
+
+from repro.cpu import Mode, MultiCoreEngine, MultiCorePgss
+from repro.sampling import PgssConfig
+
+from conftest import record
+
+PAIR = ("177.mesa", "181.mcf")
+
+
+def _run(ctx):
+    def compute():
+        programs = [ctx.program(name) for name in PAIR]
+        truth = MultiCoreEngine(
+            [ctx.program(name) for name in PAIR], machine=ctx.machine
+        ).run_all(Mode.DETAIL)
+        config = PgssConfig.from_scale(ctx.scale)
+        estimates = MultiCorePgss(lambda core: config, machine=ctx.machine).run(
+            programs
+        )
+        out = {}
+        for core, result in estimates.items():
+            true_ipc = truth[core].ipc
+            out[str(core)] = {
+                "program": result.program,
+                "true_ipc": true_ipc,
+                "pgss_ipc": result.ipc_estimate,
+                "error_pct": 100.0 * abs(result.ipc_estimate - true_ipc) / true_ipc,
+                "detailed_ops": result.detailed_ops,
+                "total_ops": truth[core].ops,
+                "n_phases": result.extras["n_phases"],
+            }
+        return out
+
+    return ctx.cache.json(
+        {
+            "kind": "multicore_pgss",
+            "pair": PAIR,
+            "scale": ctx.scale.name,
+            "ops": ctx.scale.benchmark_ops,
+        },
+        compute,
+    )
+
+
+def test_multicore_pgss(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(_run, args=(ctx,), rounds=1, iterations=1)
+
+    lines = ["Future work — per-core PGSS on a shared-L2 CMP", ""]
+    for core, stats in sorted(result.items()):
+        lines.append(
+            f"  core {core} ({stats['program']}): true IPC "
+            f"{stats['true_ipc']:.4f}, PGSS {stats['pgss_ipc']:.4f} "
+            f"({stats['error_pct']:.2f}% err), detail "
+            f"{stats['detailed_ops']:,} of {stats['total_ops']:,} ops, "
+            f"{stats['n_phases']} phases"
+        )
+    record(results_dir, "multicore", "\n".join(lines))
+
+    for stats in result.values():
+        # Per-core estimates track the co-run ground truth …
+        assert stats["error_pct"] < 25.0, stats
+        # … with a small detail fraction.
+        assert stats["detailed_ops"] < 0.2 * stats["total_ops"]
+    benchmark.extra_info["errors_pct"] = {
+        core: round(stats["error_pct"], 2) for core, stats in result.items()
+    }

@@ -1,0 +1,39 @@
+"""Extension bench: the accuracy / detail-budget Pareto frontier.
+
+Regenerated claims:
+
+* PGSS's operating points sit at detail budgets SMARTS cannot reach by
+  period tuning without large error (the Fig. 12 thesis as a curve);
+* cold fast-forwarding (no functional warming) is *biased*, not just
+  noisier — the warming ablation gap is positive and large.
+"""
+
+from repro.experiments import tradeoff
+
+from conftest import record
+
+
+def test_tradeoff_pareto(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(tradeoff.run, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "tradeoff", tradeoff.format_result(result))
+
+    # Cold sampling hurts: warming ablation gap is clearly positive.
+    assert result["warming_gap"] > 2.0, result["warming_gap"]
+
+    # Every PGSS point uses less detail than the densest SMARTS point …
+    max_pgss_detail = max(p["mean_detailed_ops"] for p in result["pgss"])
+    min_smarts_detail = min(s["mean_detailed_ops"] for s in result["smarts"])
+    assert max_pgss_detail < min_smarts_detail * 2
+
+    # … and at the lowest common budget PGSS is at least as accurate as
+    # the cheapest (longest-period) SMARTS point.
+    cheapest_smarts = min(
+        result["smarts"], key=lambda s: s["mean_detailed_ops"]
+    )
+    best_pgss = min(result["pgss"], key=lambda p: p["a_mean_error"])
+    assert best_pgss["a_mean_error"] <= cheapest_smarts["a_mean_error"] + 2.0
+
+    benchmark.extra_info["warming_gap_pts"] = round(result["warming_gap"], 2)
+    benchmark.extra_info["best_pgss_err"] = round(
+        best_pgss["a_mean_error"], 2
+    )

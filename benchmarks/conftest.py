@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_figNN.py`` regenerates one of the paper's figures at the
+SCALED operating point, timing the (cached) computation with
+pytest-benchmark and writing the figure's table to ``results/figNN.txt``.
+The first run populates the on-disk experiment cache (roughly half an hour
+for the complete suite); subsequent runs are seconds.
+
+Set ``REPRO_BENCH_SCALE=quick`` to exercise the harness on the miniature
+scale instead.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import Scale
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """The session-wide experiment context at the benchmarking scale."""
+    scale = Scale.QUICK if os.environ.get("REPRO_BENCH_SCALE") == "quick" else Scale.SCALED
+    return ExperimentContext(scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the regenerated figure tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Write one figure's table to ``results/<name>.txt``."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

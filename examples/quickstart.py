@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: sample one benchmark with PGSS-Sim and check its accuracy.
+
+Runs the 164.gzip analogue three ways — full detail (ground truth), SMARTS,
+and PGSS-Sim — and compares accuracy against detailed-simulation cost.
+Uses the QUICK scale so the whole script finishes in a few seconds; switch
+to ``Scale.SCALED`` for the figures' operating point.
+"""
+
+from repro import Scale, get_workload
+from repro.sampling import FullDetail, Pgss, PgssConfig, Smarts, SmartsConfig
+
+SCALE = Scale.QUICK
+
+
+def main() -> None:
+    program = get_workload("164.gzip", SCALE)
+    print(f"workload: {program}")
+
+    truth = FullDetail().run(program)
+    print(f"\nfull detail : IPC {truth.ipc_estimate:.4f} "
+          f"({truth.detailed_ops:,} detailed ops)")
+
+    smarts = Smarts(SmartsConfig.from_scale(SCALE)).run(program)
+    print(f"SMARTS      : IPC {smarts.ipc_estimate:.4f} "
+          f"(err {smarts.percent_error(truth.ipc_estimate):.2f}%, "
+          f"{smarts.detailed_ops:,} detailed ops, {smarts.n_samples} samples)")
+
+    pgss = Pgss(PgssConfig.from_scale(SCALE)).run(program)
+    print(f"PGSS-Sim    : IPC {pgss.ipc_estimate:.4f} "
+          f"(err {pgss.percent_error(truth.ipc_estimate):.2f}%, "
+          f"{pgss.detailed_ops:,} detailed ops, {pgss.n_samples} samples)")
+    print(f"\nPGSS found {pgss.extras['n_phases']} phases "
+          f"({pgss.extras['n_phase_changes']} transitions); "
+          f"samples per phase: {pgss.extras['samples_per_phase']}")
+    print(f"detail reduction vs SMARTS: "
+          f"{smarts.detailed_ops / pgss.detailed_ops:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

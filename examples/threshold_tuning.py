@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Section-4 style threshold selection for a benchmark.
+
+Reproduces the paper's threshold methodology on one workload: gather
+consecutive-period (BBV change, IPC change) pairs from an instrumented
+run, score candidate thresholds by detection rate and false-positive rate
+(the Figure 6 regions), and compare with the runtime
+:class:`~repro.phase.AdaptiveThresholdSelector` that needs no detailed
+simulation at all.
+"""
+
+import math
+
+from repro import Scale, get_workload
+from repro.phase import (
+    AdaptiveThresholdSelector,
+    consecutive_changes,
+    detection_rate,
+    false_positive_rate,
+)
+from repro.sampling import collect_reference_trace
+
+SCALE = Scale.QUICK
+BENCHMARK = "256.bzip2"
+PERIOD_FACTOR = 4  # analysis period = 4 trace windows
+SIGMA = 0.3        # IPC changes above .3 sigma count as significant
+
+
+def main() -> None:
+    program = get_workload(BENCHMARK, SCALE)
+    print(f"collecting instrumented trace of {BENCHMARK} ...")
+    trace = collect_reference_trace(program, SCALE.trace_window).aggregate(
+        PERIOD_FACTOR
+    )
+    pairs = consecutive_changes(list(trace.normalized_bbvs()), trace.ipcs.tolist())
+    print(f"{len(pairs)} consecutive-period pairs, "
+          f"IPC sigma {float(trace.ipcs.std()):.3f}\n")
+
+    print(f"{'threshold':>10} {'caught':>8} {'false+':>8}")
+    for frac in (0.02, 0.05, 0.10, 0.15, 0.20, 0.25):
+        caught = detection_rate(pairs, frac * math.pi, SIGMA)
+        false_pos = false_positive_rate(pairs, frac * math.pi, SIGMA)
+        print(f"{frac:>9.2f}p {caught:>7.1%} {false_pos:>7.1%}")
+
+    # The offline pick: highest threshold still catching >=90% of what the
+    # tightest threshold catches (the paper's knee reading).
+    base = detection_rate(pairs, 0.02 * math.pi, SIGMA)
+    offline = 0.02
+    for frac in (0.05, 0.10, 0.15, 0.20, 0.25):
+        if detection_rate(pairs, frac * math.pi, SIGMA) >= 0.9 * base:
+            offline = frac
+    print(f"\noffline knee pick: {offline:.2f}pi")
+
+    # The runtime pick: no detailed simulation, BBV stream only.
+    selector = AdaptiveThresholdSelector()
+    runtime = selector.select(list(trace.normalized_bbvs()))
+    print(f"adaptive (runtime) pick: {runtime:.2f}pi")
+    for row in selector.evaluate(list(trace.normalized_bbvs())):
+        print(f"  .{int(row['threshold'] * 100):02d}pi: "
+              f"{row['n_phases']} phases, change rate {row['change_rate']:.2f}, "
+              f"usable={row['usable']}")
+
+
+if __name__ == "__main__":
+    main()

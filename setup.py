@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so PEP 517 editable installs (which require ``bdist_wheel``) fail.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` perform
+a classic editable install; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

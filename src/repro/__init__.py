@@ -1,0 +1,88 @@
+"""PGSS-Sim: Phase-Guided Small-Sample Simulation.
+
+A from-scratch reproduction of Kihm, Strom & Connors, "Phase-Guided
+Small-Sample Simulation" (ISPASS 2007): a cycle-accurate in-order CPU
+simulator, a synthetic SPEC2000-analogue workload suite, online BBV-based
+phase detection, and five sampled-simulation techniques (SMARTS,
+TurboSMARTS, SimPoint, Online SimPoint, and the paper's PGSS-Sim).
+
+Quickstart::
+
+    from repro import Scale, get_workload
+    from repro.sampling import Pgss, PgssConfig
+
+    program = get_workload("164.gzip", Scale.SCALED)
+    result = Pgss(PgssConfig.from_scale(Scale.SCALED)).run(program)
+    print(result.ipc_estimate, result.detailed_ops)
+"""
+
+from .config import CacheConfig, MachineConfig, Scale, ScaleConfig, DEFAULT_MACHINE
+from .errors import (
+    ClusteringError,
+    ConfigurationError,
+    ProgramError,
+    ReproError,
+    SamplingError,
+    SimulationError,
+    StreamExhausted,
+)
+from .program import (
+    BasicBlock,
+    Behavior,
+    BlockBuilder,
+    BlockEvent,
+    MemPattern,
+    PatternKind,
+    Program,
+    ProgramStream,
+    Segment,
+    WORKLOAD_NAMES,
+    get_workload,
+    paper_suite,
+    wupwise_analogue,
+)
+from .cpu import Mode, SimulationEngine, CheckpointStore
+from .bbv import BbvTracker, ReducedBbvHash, WideBbvHash, angle_between
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # config
+    "CacheConfig",
+    "MachineConfig",
+    "Scale",
+    "ScaleConfig",
+    "DEFAULT_MACHINE",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ProgramError",
+    "SimulationError",
+    "StreamExhausted",
+    "SamplingError",
+    "ClusteringError",
+    # program model
+    "BasicBlock",
+    "Behavior",
+    "BlockBuilder",
+    "BlockEvent",
+    "MemPattern",
+    "PatternKind",
+    "Program",
+    "ProgramStream",
+    "Segment",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "paper_suite",
+    "wupwise_analogue",
+    # simulator
+    "Mode",
+    "SimulationEngine",
+    "CheckpointStore",
+    # bbv
+    "BbvTracker",
+    "ReducedBbvHash",
+    "WideBbvHash",
+    "angle_between",
+]

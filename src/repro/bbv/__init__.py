@@ -1,0 +1,21 @@
+"""Basic Block Vector (BBV) tracking — the paper's Figure 4 mechanism.
+
+Every taken branch hashes five fixed (randomly chosen) bits of its address
+into an index for a 32-entry register file; the entry is incremented by the
+number of operations retired since the last taken branch.  At each BBV
+sampling-period boundary the register file is compiled into a vector,
+L2-normalised, and compared with previous vectors by the angle between them
+(the cosine comes from a single dot product).
+"""
+
+from .tracker import BbvTracker, ReducedBbvHash, WideBbvHash
+from .vector import angle_between, l2_normalize, manhattan_distance
+
+__all__ = [
+    "BbvTracker",
+    "ReducedBbvHash",
+    "WideBbvHash",
+    "angle_between",
+    "l2_normalize",
+    "manhattan_distance",
+]

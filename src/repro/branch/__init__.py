@@ -1,0 +1,10 @@
+"""Branch-direction predictors used by the functional and detailed engines.
+
+Both SMARTS-style fast-forwarding and detailed simulation keep the branch
+predictor warm; the predictors here are snapshotable so checkpoints capture
+them alongside the caches.
+"""
+
+from .predictors import BimodalPredictor, BranchPredictor, BranchStats, GsharePredictor
+
+__all__ = ["BranchPredictor", "BimodalPredictor", "GsharePredictor", "BranchStats"]

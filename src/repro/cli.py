@@ -1,0 +1,275 @@
+"""Command-line interface: ``pgss-sim``.
+
+Subcommands::
+
+    pgss-sim list                      # available workloads
+    pgss-sim simulate 164.gzip         # full-detail run of one benchmark
+    pgss-sim sample 164.gzip -t pgss   # one sampling technique
+    pgss-sim figure 12                 # regenerate one paper figure
+    pgss-sim rates                     # per-mode simulation rates
+    pgss-sim clear-cache               # drop cached experiment results
+
+All subcommands accept ``--scale {quick,scaled,paper}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .config import Scale, ScaleConfig
+from .program import WORKLOAD_NAMES, get_workload
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {"quick": Scale.QUICK, "scaled": Scale.SCALED, "paper": Scale.PAPER}
+
+_FIGURES = {
+    "1": "fig01_timeline",
+    "2": "fig02_sampling_granularity",
+    "3": "fig03_ipc_distribution",
+    "6": "fig07_change_distribution",
+    "7": "fig07_change_distribution",
+    "8": "fig08_detection_rate",
+    "9": "fig09_false_positives",
+    "10": "fig10_twolf_threshold",
+    "11": "fig11_pgss_sweep",
+    "12": "fig12_technique_comparison",
+    "13": "fig13_simulation_time",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="pgss-sim",
+        description="Phase-Guided Small-Sample Simulation (ISPASS 2007) reproduction",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="scaled",
+        help="interval-scale configuration (default: scaled)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    p_sim = sub.add_parser("simulate", help="full-detail run of one workload")
+    p_sim.add_argument("workload", help="workload name, e.g. 164.gzip")
+
+    p_inspect = sub.add_parser(
+        "inspect", help="static + dynamic profile of one workload"
+    )
+    p_inspect.add_argument("workload")
+
+    p_sample = sub.add_parser("sample", help="run one sampling technique")
+    p_sample.add_argument("workload")
+    p_sample.add_argument(
+        "-t",
+        "--technique",
+        choices=["smarts", "turbosmarts", "simpoint", "online-simpoint", "pgss"],
+        default="pgss",
+    )
+    p_sample.add_argument(
+        "--threshold", type=float, default=0.05, help="BBV threshold (fraction of pi)"
+    )
+    p_sample.add_argument(
+        "--period", type=int, default=None, help="BBV/sampling period in ops"
+    )
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure")
+    p_fig.add_argument("number", choices=sorted(_FIGURES, key=int))
+
+    p_report = sub.add_parser(
+        "report", help="regenerate every figure into one report"
+    )
+    p_report.add_argument(
+        "-o", "--output", default=None, help="write the report to a file"
+    )
+
+    sub.add_parser("rates", help="measure per-mode simulation rates")
+    sub.add_parser(
+        "calibrate", help="per-workload IPC/variability calibration table"
+    )
+    sub.add_parser("clear-cache", help="delete cached experiment results")
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in WORKLOAD_NAMES:
+        print(name)
+    print("168.wupwise  (Figure 3 subject)")
+    return 0
+
+
+def _cmd_simulate(scale: ScaleConfig, workload: str) -> int:
+    from .sampling import FullDetail
+
+    result = FullDetail().run(get_workload(workload, scale))
+    print(
+        f"{workload}: IPC {result.ipc_estimate:.4f} over {result.total_ops:,} ops"
+    )
+    return 0
+
+
+def _cmd_sample(
+    scale: ScaleConfig, workload: str, technique: str, threshold: float, period: Optional[int]
+) -> int:
+    from .sampling import (
+        OnlineSimPoint,
+        OnlineSimPointConfig,
+        Pgss,
+        PgssConfig,
+        SimPoint,
+        SimPointConfig,
+        Smarts,
+        SmartsConfig,
+        TurboSmarts,
+        TurboSmartsConfig,
+    )
+
+    program = get_workload(workload, scale)
+    if technique == "smarts":
+        tech = Smarts(SmartsConfig.from_scale(scale))
+    elif technique == "turbosmarts":
+        tech = TurboSmarts(TurboSmartsConfig.from_scale(scale))
+    elif technique == "simpoint":
+        interval = period or scale.simpoint_intervals[-1]
+        n_clusters = max(min(10, scale.benchmark_ops // interval - 1), 1)
+        tech = SimPoint(SimPointConfig(interval, n_clusters))
+    elif technique == "online-simpoint":
+        tech = OnlineSimPoint(
+            OnlineSimPointConfig(period or scale.simpoint_intervals[-1], threshold)
+        )
+    else:
+        tech = Pgss(
+            PgssConfig.from_scale(
+                scale, bbv_period_ops=period, threshold_pi=threshold
+            )
+        )
+    result = tech.run(program)
+    print(
+        f"{result.technique} on {workload}: IPC estimate "
+        f"{result.ipc_estimate:.4f}, detailed ops {result.detailed_ops:,}, "
+        f"samples {result.n_samples}"
+    )
+    for key, value in result.extras.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_figure(scale: ScaleConfig, number: str) -> int:
+    import importlib
+
+    from .experiments import ExperimentContext
+
+    module = importlib.import_module(f".experiments.{_FIGURES[number]}", __package__)
+    ctx = ExperimentContext(scale)
+    print(module.format_result(module.run(ctx)))
+    return 0
+
+
+def _cmd_inspect(scale: ScaleConfig, workload: str) -> int:
+    from .program import dynamic_profile, static_profile
+
+    program = get_workload(workload, scale)
+    static = static_profile(program)
+    dynamic = dynamic_profile(program)
+    print(f"{workload} (scale {scale.name})")
+    print(f"  blocks: {static.n_blocks} ({static.n_instructions} static "
+          f"instructions over {static.text_span_bytes:,} B of text)")
+    print(f"  behaviours: {static.n_behaviors}, script segments: "
+          f"{static.n_segments}")
+    print(f"  data footprint: {static.mem_footprint_bytes / 1024:,.0f} KB "
+          f"across patterns {static.pattern_mix}")
+    mix = ", ".join(f"{k}:{v}" for k, v in sorted(static.op_mix.items()))
+    print(f"  static op mix: {mix}")
+    print(f"  dynamic: {dynamic.total_ops:,} ops in {dynamic.total_events:,} "
+          f"block executions (mean {dynamic.mean_block_ops:.1f} ops/block, "
+          f"{dynamic.taken_fraction:.1%} branches taken)")
+    share = {
+        name: f"{ops / sum(dynamic.behavior_ops.values()):.1%}"
+        for name, ops in sorted(dynamic.behavior_ops.items())
+    }
+    print(f"  behaviour occupancy: {share}")
+    return 0
+
+
+def _cmd_report(scale: ScaleConfig, output: Optional[str]) -> int:
+    from .experiments import ExperimentContext
+    from .experiments.report import generate_report
+
+    text = generate_report(ExperimentContext(scale))
+    if output:
+        with open(output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_rates(scale: ScaleConfig) -> int:
+    from .experiments import ExperimentContext
+    from .experiments.fig13_simulation_time import measure_rates
+
+    rates = measure_rates(ExperimentContext(scale))
+    for key, value in rates.items():
+        print(f"{key:18s} {value / 1e3:10,.0f} kops/s")
+    return 0
+
+
+def _cmd_calibrate(scale: ScaleConfig) -> int:
+    from .program import WORKLOAD_NAMES
+    from .sampling import collect_reference_trace
+
+    print(f"{'workload':14} {'IPC':>7} {'sigma':>7} {'cv':>6} "
+          f"{'min':>6} {'max':>6}")
+    for name in list(WORKLOAD_NAMES) + ["168.wupwise"]:
+        trace = collect_reference_trace(get_workload(name, scale), scale.trace_window)
+        ipcs = trace.ipcs
+        print(f"{name:14} {trace.true_ipc:>7.3f} {float(ipcs.std()):>7.3f} "
+              f"{float(ipcs.std() / ipcs.mean()):>6.2f} "
+              f"{float(ipcs.min()):>6.2f} {float(ipcs.max()):>6.2f}")
+    return 0
+
+
+def _cmd_clear_cache() -> int:
+    from .experiments import ResultCache
+
+    removed = ResultCache().clear()
+    print(f"removed {removed} cached files")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = _SCALES[args.scale]
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "simulate":
+        return _cmd_simulate(scale, args.workload)
+    if args.command == "inspect":
+        return _cmd_inspect(scale, args.workload)
+    if args.command == "sample":
+        return _cmd_sample(
+            scale, args.workload, args.technique, args.threshold, args.period
+        )
+    if args.command == "figure":
+        return _cmd_figure(scale, args.number)
+    if args.command == "report":
+        return _cmd_report(scale, args.output)
+    if args.command == "rates":
+        return _cmd_rates(scale)
+    if args.command == "calibrate":
+        return _cmd_calibrate(scale)
+    if args.command == "clear-cache":
+        return _cmd_clear_cache()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

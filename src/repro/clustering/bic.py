@@ -1,0 +1,88 @@
+"""BIC-based cluster-count selection (SimPoint 3.0 methodology).
+
+SimPoint picks the number of clusters by running k-means for a range of k
+and keeping the smallest k whose Bayesian Information Criterion reaches a
+chosen fraction (typically 90%) of the best observed score.  The BIC here
+follows the spherical-Gaussian formulation of Pelleg & Moore's X-means,
+the same one the SimPoint papers cite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ClusteringError
+from .kmeans import KMeansResult, kmeans
+
+__all__ = ["bic_score", "choose_k"]
+
+
+def bic_score(points: np.ndarray, result: KMeansResult) -> float:
+    """BIC of a clustering under the spherical-Gaussian model.
+
+    Larger is better.  ``points`` must be the data the result was fit on.
+    """
+    data = np.asarray(points, dtype=np.float64)
+    n, dim = data.shape
+    k = result.k
+    if n <= k:
+        raise ClusteringError("BIC requires more points than clusters")
+    sizes = result.cluster_sizes()
+    # Pooled ML variance estimate (spherical).
+    variance = result.inertia / (dim * (n - k))
+    if variance <= 0:
+        variance = 1e-12
+    log_likelihood = 0.0
+    for c in range(k):
+        nc = int(sizes[c])
+        if nc == 0:
+            continue
+        log_likelihood += (
+            nc * math.log(nc / n)
+            - 0.5 * nc * dim * math.log(2.0 * math.pi * variance)
+            - 0.5 * (nc - 1) * dim
+        )
+    n_params = k * (dim + 1)
+    return log_likelihood - 0.5 * n_params * math.log(n)
+
+
+def choose_k(
+    points: Sequence[Sequence[float]],
+    max_k: int = 20,
+    bic_fraction: float = 0.9,
+    n_restarts: int = 3,
+    seed: Optional[int] = 0,
+) -> Tuple[int, Dict[int, float]]:
+    """Pick a cluster count the SimPoint 3.0 way.
+
+    Runs k-means for ``k = 1 .. max_k`` and returns the smallest k whose
+    BIC reaches *bic_fraction* of the best BIC seen, along with the full
+    k -> BIC map.
+
+    Args:
+        points: ``(n, dim)`` data.
+        max_k: largest cluster count to try (clamped to n - 1).
+        bic_fraction: acceptance fraction of the best score.
+        n_restarts: k-means restarts per k.
+        seed: RNG seed.
+    """
+    data = np.asarray(points, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] < 3:
+        raise ClusteringError("need at least 3 points to choose k")
+    max_k = min(max_k, data.shape[0] - 1)
+    scores: Dict[int, float] = {}
+    for k in range(1, max_k + 1):
+        result = kmeans(data, k, n_restarts=n_restarts, seed=seed)
+        scores[k] = bic_score(data, result)
+    best = max(scores.values())
+    worst = min(scores.values())
+    span = best - worst
+    for k in sorted(scores):
+        # Normalised acceptance: scores are negative log-likelihood-based,
+        # so compare on the [worst, best] span rather than raw ratios.
+        if span == 0 or (scores[k] - worst) / span >= bic_fraction:
+            return k, scores
+    return max(scores, key=scores.get), scores

@@ -1,0 +1,197 @@
+"""k-means with k-means++ seeding and multiple restarts.
+
+Written from scratch on numpy (no scipy/sklearn dependency) because the
+SimPoint substrate is part of what this repository reproduces.  Distances
+are Euclidean, matching the SimPoint tool; the BBVs it clusters are
+L2-normalised so Euclidean and cosine orderings agree closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means run.
+
+    Attributes:
+        centroids: ``(k, dim)`` array of cluster centres.
+        labels: ``(n,)`` cluster index per input vector.
+        inertia: sum of squared distances to assigned centroids.
+        n_iter: Lloyd iterations executed (best restart).
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of members per cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+    def representative_indices(self) -> np.ndarray:
+        """Index of the member closest to each centroid.
+
+        This is SimPoint's "simulation point" selection: "the simulation
+        sample closest to the center of the cluster is used to represent
+        the entire phase".  Empty clusters map to index -1.
+        """
+        n = self.labels.shape[0]
+        reps = np.full(self.k, -1, dtype=np.int64)
+        best = np.full(self.k, np.inf)
+        for i in range(n):
+            c = self.labels[i]
+            d = self._sq_dist_cache[i]
+            if d < best[c]:
+                best[c] = d
+                reps[c] = i
+        return reps
+
+    @property
+    def _sq_dist_cache(self) -> np.ndarray:
+        # Lazily computed squared distance of each point to its centroid;
+        # stored on first use via object.__setattr__ (frozen dataclass).
+        cache = getattr(self, "_sq_dists", None)
+        if cache is None:
+            cache = self._points_sq_dists
+            object.__setattr__(self, "_sq_dists", cache)
+        return cache
+
+    @property
+    def _points_sq_dists(self) -> np.ndarray:
+        points = getattr(self, "_points", None)
+        if points is None:
+            raise ClusteringError("result was created without point data")
+        diffs = points - self.centroids[self.labels]
+        return np.einsum("ij,ij->i", diffs, diffs)
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    sq_d = np.einsum("ij,ij->i", points - centroids[0], points - centroids[0])
+    for j in range(1, k):
+        total = sq_d.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick randomly.
+            idx = int(rng.integers(n))
+        else:
+            probs = sq_d / total
+            idx = int(rng.choice(n, p=probs))
+        centroids[j] = points[idx]
+        new_sq = np.einsum(
+            "ij,ij->i", points - centroids[j], points - centroids[j]
+        )
+        np.minimum(sq_d, new_sq, out=sq_d)
+    return centroids
+
+
+def _lloyd(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    max_iter: int,
+    tol: float,
+    rng: np.random.Generator,
+) -> tuple:
+    """Lloyd iterations; returns (centroids, labels, inertia, n_iter)."""
+    k = centroids.shape[0]
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    prev_inertia = np.inf
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        # Squared distances to every centroid: (n, k).
+        d2 = (
+            np.einsum("ij,ij->i", points, points)[:, None]
+            - 2.0 * points @ centroids.T
+            + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+        )
+        labels = d2.argmin(axis=1)
+        inertia = float(d2[np.arange(points.shape[0]), labels].sum())
+        # Recompute centroids; reseed empty clusters from the worst points.
+        for c in range(k):
+            members = points[labels == c]
+            if members.shape[0]:
+                centroids[c] = members.mean(axis=0)
+            else:
+                worst = int(d2[np.arange(points.shape[0]), labels].argmax())
+                centroids[c] = points[worst]
+        if prev_inertia - inertia <= tol * max(prev_inertia, 1e-12):
+            break
+        prev_inertia = inertia
+    # Final assignment against the updated centroids.
+    d2 = (
+        np.einsum("ij,ij->i", points, points)[:, None]
+        - 2.0 * points @ centroids.T
+        + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+    )
+    labels = d2.argmin(axis=1)
+    inertia = float(d2[np.arange(points.shape[0]), labels].sum())
+    return centroids, labels, inertia, n_iter
+
+
+def kmeans(
+    points: Sequence[Sequence[float]],
+    k: int,
+    n_restarts: int = 5,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed: Optional[int] = 0,
+) -> KMeansResult:
+    """Cluster *points* into *k* groups; best of *n_restarts* runs.
+
+    Args:
+        points: ``(n, dim)`` data.
+        k: cluster count; must satisfy ``1 <= k <= n``.
+        n_restarts: independent k-means++ restarts; lowest inertia wins.
+        max_iter: Lloyd iteration cap per restart.
+        tol: relative inertia-improvement stopping tolerance.
+        seed: RNG seed (None for nondeterministic).
+
+    Raises:
+        ClusteringError: on empty input or invalid *k*.
+    """
+    data = np.asarray(points, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ClusteringError("points must be a non-empty 2-D array")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ClusteringError(f"k={k} must be in 1..{n}")
+    if n_restarts < 1:
+        raise ClusteringError("n_restarts must be at least 1")
+
+    rng = np.random.default_rng(seed)
+    best: Optional[KMeansResult] = None
+    for _ in range(n_restarts):
+        init = _kmeans_pp_init(data, k, rng)
+        centroids, labels, inertia, n_iter = _lloyd(
+            data, init.copy(), max_iter, tol, rng
+        )
+        if best is None or inertia < best.inertia:
+            best = KMeansResult(
+                centroids=centroids.copy(),
+                labels=labels.copy(),
+                inertia=inertia,
+                n_iter=n_iter,
+            )
+            object.__setattr__(best, "_points", data)
+    assert best is not None
+    return best

@@ -1,0 +1,44 @@
+"""Random projection for high-dimensional BBVs (SimPoint preprocessing).
+
+SimPoint projects full basic-block vectors (dimension = number of static
+basic blocks, often tens of thousands) down to ~15 dimensions before
+clustering.  The reduced 32-entry BBVs this repository uses by default do
+not need it, but the wide-BBV ablation does, and it belongs to a faithful
+SimPoint substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+__all__ = ["random_projection"]
+
+
+def random_projection(
+    points: Sequence[Sequence[float]],
+    target_dim: int = 15,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Project *points* to *target_dim* dimensions with a Gaussian matrix.
+
+    The projection matrix has i.i.d. ``N(0, 1/target_dim)`` entries, which
+    preserves pairwise distances in expectation (Johnson-Lindenstrauss).
+
+    Raises:
+        ClusteringError: if *target_dim* is not in ``1..dim``.
+    """
+    data = np.asarray(points, dtype=np.float64)
+    if data.ndim != 2:
+        raise ClusteringError("points must be 2-D")
+    dim = data.shape[1]
+    if not 1 <= target_dim <= dim:
+        raise ClusteringError(f"target_dim must be in 1..{dim}")
+    if target_dim == dim:
+        return data.copy()
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(0.0, 1.0 / np.sqrt(target_dim), size=(dim, target_dim))
+    return data @ matrix

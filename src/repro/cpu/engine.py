@@ -1,0 +1,266 @@
+"""The simulation engine: one program stream, four execution modes.
+
+:class:`SimulationEngine` owns the machine state (cache hierarchy, branch
+predictor, pipeline scoreboard) and a :class:`~repro.program.ProgramStream`,
+and advances the stream in whichever :class:`Mode` the driving sampling
+technique requests.  It also keeps per-mode operation counts and wall-clock
+timers — the raw data behind the paper's Figure 13 simulation-rate table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from ..branch import BimodalPredictor, BranchPredictor, GsharePredictor
+from ..config import DEFAULT_MACHINE, MachineConfig
+from ..errors import ConfigurationError, SimulationError
+from ..memory import CacheHierarchy
+from ..program import Program, ProgramStream
+from .functional import FunctionalWarmer
+from .pipeline import InOrderPipeline
+
+__all__ = ["Mode", "ModeRun", "ModeAccounting", "SimulationEngine"]
+
+
+class Mode(Enum):
+    """Execution modes, mirroring the paper's Figure 13 taxonomy."""
+
+    DETAIL = "detail"            # cycle-accurate, statistics recorded
+    DETAIL_WARM = "detail_warm"  # cycle-accurate, statistics discarded
+    FUNC_WARM = "func_warm"      # caches + branch predictor only
+    FUNC_FAST = "func_fast"      # op counting only
+
+    @property
+    def is_detailed(self) -> bool:
+        """True for the two cycle-accurate modes (they cost detailed ops)."""
+        return self in (Mode.DETAIL, Mode.DETAIL_WARM)
+
+
+@dataclass(frozen=True)
+class ModeRun:
+    """Outcome of one :meth:`SimulationEngine.run` call.
+
+    Attributes:
+        mode: the mode executed.
+        ops: operations consumed (0 if the stream was already exhausted).
+        cycles: cycles elapsed (0 for functional modes).
+        exhausted: True when the stream ended during the run.
+    """
+
+    mode: Mode
+    ops: int
+    cycles: int
+    exhausted: bool
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (0.0 when no cycles elapsed)."""
+        return self.ops / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class ModeAccounting:
+    """Per-mode operation counts and wall-clock time."""
+
+    ops: Dict[Mode, int] = field(default_factory=lambda: {m: 0 for m in Mode})
+    seconds: Dict[Mode, float] = field(default_factory=lambda: {m: 0.0 for m in Mode})
+
+    @property
+    def detailed_ops(self) -> int:
+        """Ops spent in cycle-accurate modes (detail + detailed warming).
+
+        This is the cost metric of the paper's Figure 12: "the number of
+        instructions executed in detailed warming and detailed simulation
+        were counted".
+        """
+        return self.ops[Mode.DETAIL] + self.ops[Mode.DETAIL_WARM]
+
+    @property
+    def total_ops(self) -> int:
+        """Ops across all modes."""
+        return sum(self.ops.values())
+
+    def rate(self, mode: Mode) -> float:
+        """Measured simulation rate for *mode* in ops/second."""
+        secs = self.seconds[mode]
+        return self.ops[mode] / secs if secs > 0 else 0.0
+
+    def merge(self, other: "ModeAccounting") -> None:
+        """Accumulate another accounting record into this one."""
+        for mode in Mode:
+            self.ops[mode] += other.ops[mode]
+            self.seconds[mode] += other.seconds[mode]
+
+
+def _make_predictor(kind: str, table_bits: int) -> BranchPredictor:
+    if kind == "gshare":
+        return GsharePredictor(table_bits)
+    if kind == "bimodal":
+        return BimodalPredictor(table_bits)
+    raise ConfigurationError(f"unknown predictor kind {kind!r}")
+
+
+class SimulationEngine:
+    """Execution-driven simulator over one program.
+
+    Args:
+        program: the workload to execute.
+        machine: machine configuration.
+        predictor: ``"gshare"`` or ``"bimodal"``.
+        bbv_tracker: optional BBV tracker (duck-typed: any object with a
+            ``record(block, taken)`` method); when attached it observes
+            every event in every mode, mirroring the paper's always-on
+            branch profiling hardware.
+        hierarchy: optional pre-built cache hierarchy — the injection
+            point for chip-multiprocessor configurations where several
+            engines share one L2 (see :mod:`repro.cpu.multicore`).
+        stream: optional event source replacing the default
+            execution-driven :class:`~repro.program.ProgramStream` — e.g.
+            a :class:`~repro.program.trace_io.TraceStream` for
+            trace-driven simulation.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineConfig = DEFAULT_MACHINE,
+        predictor: str = "gshare",
+        bbv_tracker: Optional[Any] = None,
+        hierarchy: Optional[CacheHierarchy] = None,
+        stream: Optional[Any] = None,
+    ) -> None:
+        self.program = program
+        self.machine = machine
+        self.stream = stream if stream is not None else ProgramStream(program)
+        self.hierarchy = hierarchy if hierarchy is not None else CacheHierarchy(machine)
+        self.predictor = _make_predictor(predictor, machine.branch_history_bits)
+        self.pipeline = InOrderPipeline(machine, self.hierarchy, self.predictor)
+        self.warmer = FunctionalWarmer(self.hierarchy, self.predictor)
+        self.bbv_tracker = bbv_tracker
+        self.accounting = ModeAccounting()
+
+    @property
+    def ops_completed(self) -> int:
+        """Dynamic operations retired so far (all modes)."""
+        return self.stream.ops_emitted
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the program has run to completion."""
+        return self.stream.exhausted
+
+    def run(self, mode: Mode, n_ops: int) -> ModeRun:
+        """Advance the stream by at least *n_ops* operations in *mode*.
+
+        Stops early (without error) if the program ends.  Returns the ops
+        actually consumed and, for detailed modes, the cycles elapsed.
+        """
+        if n_ops < 0:
+            raise SimulationError("n_ops must be non-negative")
+        stream = self.stream
+        tracker = self.bbv_tracker
+        ops = 0
+        cycles = 0
+        start_time = time.perf_counter()
+
+        if mode is Mode.DETAIL or mode is Mode.DETAIL_WARM:
+            pipeline = self.pipeline
+            execute = pipeline.execute_event
+            start_cycle = pipeline.cycle
+            next_event = stream.next_event
+            if tracker is None:
+                while ops < n_ops:
+                    event = next_event()
+                    if event is None:
+                        break
+                    execute(event)
+                    ops += event.block.n_ops
+            else:
+                record = tracker.record
+                while ops < n_ops:
+                    event = next_event()
+                    if event is None:
+                        break
+                    execute(event)
+                    record(event.block, event.taken)
+                    ops += event.block.n_ops
+            if ops:
+                # Issue-cycle delta: window boundaries telescope exactly,
+                # so per-window cycles over a full run sum to the full
+                # run's cycle count.
+                cycles = pipeline.cycle - start_cycle
+        elif mode is Mode.FUNC_WARM:
+            execute = self.warmer.execute_event
+            next_event = stream.next_event
+            if tracker is None:
+                while ops < n_ops:
+                    event = next_event()
+                    if event is None:
+                        break
+                    execute(event)
+                    ops += event.block.n_ops
+            else:
+                record = tracker.record
+                while ops < n_ops:
+                    event = next_event()
+                    if event is None:
+                        break
+                    execute(event)
+                    record(event.block, event.taken)
+                    ops += event.block.n_ops
+        else:  # Mode.FUNC_FAST
+            next_event = stream.next_event
+            if tracker is None:
+                while ops < n_ops:
+                    event = next_event()
+                    if event is None:
+                        break
+                    ops += event.block.n_ops
+            else:
+                record = tracker.record
+                while ops < n_ops:
+                    event = next_event()
+                    if event is None:
+                        break
+                    record(event.block, event.taken)
+                    ops += event.block.n_ops
+
+        elapsed = time.perf_counter() - start_time
+        self.accounting.ops[mode] += ops
+        self.accounting.seconds[mode] += elapsed
+        return ModeRun(mode=mode, ops=ops, cycles=cycles, exhausted=stream.exhausted)
+
+    def run_to_end(self, mode: Mode, chunk_ops: int = 1_000_000) -> ModeRun:
+        """Run in *mode* until the program completes; returns the total."""
+        total_ops = 0
+        total_cycles = 0
+        while not self.stream.exhausted:
+            result = self.run(mode, chunk_ops)
+            total_ops += result.ops
+            total_cycles += result.cycles
+        return ModeRun(mode=mode, ops=total_ops, cycles=total_cycles, exhausted=True)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture machine + stream state (a checkpoint / livepoint)."""
+        state: Dict[str, Any] = {
+            "stream": self.stream.snapshot(),
+            "hierarchy": self.hierarchy.snapshot(),
+            "predictor": self.predictor.snapshot(),
+            "pipeline_cycle": self.pipeline.cycle,
+        }
+        if self.bbv_tracker is not None and hasattr(self.bbv_tracker, "snapshot"):
+            state["bbv"] = self.bbv_tracker.snapshot()
+        return state
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore a checkpoint captured by :meth:`snapshot`."""
+        self.stream.restore(state["stream"])
+        self.hierarchy.restore(state["hierarchy"])
+        self.predictor.restore(state["predictor"])
+        self.pipeline.reset_timing()
+        self.pipeline.cycle = state["pipeline_cycle"]
+        if "bbv" in state and self.bbv_tracker is not None:
+            self.bbv_tracker.restore(state["bbv"])

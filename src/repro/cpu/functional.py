@@ -1,0 +1,40 @@
+"""Functional execution modes: warming and pure fast-forward.
+
+*Functional warming* keeps the long-lifetime structures — caches and branch
+predictor — warm while skipping all timing, exactly the SMARTS/PGSS
+fast-forward mode.  *Pure fast-forward* touches nothing; it exists for
+SimPoint-style skipping where architectural warmth is re-established later
+(and for measuring the cost of warming itself, Fig. 13).
+"""
+
+from __future__ import annotations
+
+from ..branch import BranchPredictor
+from ..memory import CacheHierarchy
+from ..program.stream import BlockEvent
+
+__all__ = ["FunctionalWarmer"]
+
+
+class FunctionalWarmer:
+    """Applies the architectural (non-timing) effects of block events.
+
+    Shares the hierarchy and predictor objects with the detailed pipeline so
+    that a switch from fast-forwarding to detailed simulation sees warm
+    state, as the SMARTS methodology requires.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchy, predictor: BranchPredictor) -> None:
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+
+    def execute_event(self, event: BlockEvent) -> None:
+        """Update caches and branch predictor for one block execution."""
+        block, taken, k = event
+        hierarchy = self.hierarchy
+        for line in block.inst_lines:
+            hierarchy.warm_inst(line)
+        patterns = block.mem_patterns
+        for m, pat in enumerate(patterns):
+            hierarchy.warm_data(pat.address(k), pat.is_write)
+        self.predictor.predict_update(block.branch_address, taken)

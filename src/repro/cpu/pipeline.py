@@ -1,0 +1,228 @@
+"""The in-order 4-wide scoreboard pipeline (detailed timing model).
+
+Timing semantics, per instruction, in program order:
+
+* an instruction issues at the earliest cycle that satisfies (a) program
+  order, (b) source operands ready, (c) an issue slot free this cycle within
+  the machine width, (d) a functional-unit slot free for its class,
+  (e) instruction fetch not stalled (I-cache miss or branch redirect);
+* loads pay the full cache-hierarchy latency before their destination is
+  ready; stores retire through a store buffer (no dependent latency);
+* divides occupy their unpipelined unit until completion;
+* a mispredicted branch stalls fetch for the machine's redirect penalty.
+
+Register ready-times are absolute cycle numbers that persist across sample
+windows; the detailed warm-up window preceding each measured sample (the
+SMARTS/PGSS methodology) is what re-establishes them after a long
+fast-forward, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..branch import BranchPredictor
+from ..config import MachineConfig
+from ..isa import FU_CLASS, FU_LIMITS, N_REGS, Op
+from ..isa.instructions import FuClass
+from ..memory import CacheHierarchy
+from ..program.stream import BlockEvent
+
+__all__ = ["InOrderPipeline", "WindowResult"]
+
+_OP_LOAD = int(Op.LOAD)
+_OP_STORE = int(Op.STORE)
+_OP_BRANCH = int(Op.BRANCH)
+_OP_IDIV = int(Op.IDIV)
+_OP_FDIV = int(Op.FDIV)
+
+_FU_OF_OP: List[int] = [int(FU_CLASS[Op(i)]) for i in range(len(Op))]
+_N_FU = len(FuClass)
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Timing outcome of one detailed window.
+
+    Attributes:
+        ops: operations executed.
+        cycles: cycles elapsed.
+    """
+
+    ops: int
+    cycles: int
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the window (0.0 for empty windows)."""
+        return self.ops / self.cycles if self.cycles else 0.0
+
+
+class InOrderPipeline:
+    """Cycle-accurate in-order superscalar timing model.
+
+    Args:
+        machine: machine configuration (width, penalties).
+        hierarchy: the cache hierarchy shared with the functional modes.
+        predictor: the branch predictor shared with the functional modes.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        hierarchy: CacheHierarchy,
+        predictor: BranchPredictor,
+    ) -> None:
+        self.machine = machine
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.cycle = 0
+        self._reg_ready: List[int] = [0] * N_REGS
+        self._fu_busy: List[int] = [0] * _N_FU  # unpipelined-unit next-free
+        self._fetch_ready = 0
+        self._width_used = 0
+        self._class_used: List[int] = [0] * _N_FU
+        self._l1i_hit_latency = hierarchy.l1i.hit_latency
+        self._l1d_hit_latency = hierarchy.l1d.hit_latency
+        #: Completion cycles of in-flight L1 misses (bounded by n_mshrs).
+        self._mshrs: List[int] = []
+
+    def reset_timing(self) -> None:
+        """Clear all timing state (cycle counter, scoreboards, stalls)."""
+        self.cycle = 0
+        self._reg_ready = [0] * N_REGS
+        self._fu_busy = [0] * _N_FU
+        self._fetch_ready = 0
+        self._width_used = 0
+        self._class_used = [0] * _N_FU
+        self._mshrs = []
+
+    def execute_event(self, event: BlockEvent) -> None:
+        """Run one dynamic basic-block execution through the pipeline."""
+        block, taken, k = event
+        hierarchy = self.hierarchy
+        reg_ready = self._reg_ready
+        fu_busy = self._fu_busy
+        class_used = self._class_used
+        width = self.machine.issue_width
+        limits = _FU_LIMIT_LIST
+        cycle = self.cycle
+        width_used = self._width_used
+        fetch_ready = self._fetch_ready
+        mshrs = self._mshrs
+        n_mshrs = self.machine.n_mshrs
+        l1d_hit = self._l1d_hit_latency
+
+        # Instruction fetch: any I-cache miss stalls the front end for the
+        # cycles beyond the pipelined L1 hit time.
+        for line in block.inst_lines:
+            lat = hierarchy.inst_latency(line)
+            extra = lat - self._l1i_hit_latency
+            if extra > 0:
+                if fetch_ready < cycle:
+                    fetch_ready = cycle
+                fetch_ready += extra
+
+        ops = block.ops
+        dsts = block.dsts
+        src1s = block.src1s
+        src2s = block.src2s
+        lats = block.lats
+        mem_idx = block.mem_idx
+        patterns = block.mem_patterns
+
+        for i in range(block.n_ops):
+            op = ops[i]
+            # Earliest cycle satisfying dependences, order, and fetch.
+            t = cycle
+            s = src1s[i]
+            if s > 0 and reg_ready[s] > t:
+                t = reg_ready[s]
+            s = src2s[i]
+            if s > 0 and reg_ready[s] > t:
+                t = reg_ready[s]
+            if fetch_ready > t:
+                t = fetch_ready
+            fu = _FU_OF_OP[op]
+            if op == _OP_IDIV or op == _OP_FDIV:
+                if fu_busy[fu] > t:
+                    t = fu_busy[fu]
+            if t > cycle:
+                cycle = t
+                width_used = 0
+                class_used[0] = 0
+                class_used[1] = 0
+                class_used[2] = 0
+                class_used[3] = 0
+            # Structural hazards: machine width and per-class slots.
+            while width_used >= width or class_used[fu] >= limits[fu]:
+                cycle += 1
+                width_used = 0
+                class_used[0] = 0
+                class_used[1] = 0
+                class_used[2] = 0
+                class_used[3] = 0
+            width_used += 1
+            class_used[fu] += 1
+
+            if op == _OP_LOAD or op == _OP_STORE:
+                pat = patterns[mem_idx[i]]
+                is_store = op == _OP_STORE
+                lat = hierarchy.data_latency(pat.address(k), is_store)
+                if lat > l1d_hit:
+                    # L1 miss: needs a free miss-status register; a full
+                    # MSHR file stalls the in-order pipe until one drains.
+                    j = 0
+                    while j < len(mshrs):
+                        if mshrs[j] <= cycle:
+                            mshrs.pop(j)
+                        else:
+                            j += 1
+                    if len(mshrs) >= n_mshrs:
+                        earliest = min(mshrs)
+                        mshrs.remove(earliest)
+                        if earliest > cycle:
+                            cycle = earliest
+                            width_used = 0
+                            class_used[0] = 0
+                            class_used[1] = 0
+                            class_used[2] = 0
+                            class_used[3] = 0
+                    mshrs.append(cycle + lat)
+                if not is_store:
+                    d = dsts[i]
+                    if d > 0:
+                        reg_ready[d] = cycle + lat
+            elif op == _OP_BRANCH:
+                correct = self.predictor.predict_update(block.branch_address, taken)
+                if not correct:
+                    stall = cycle + self.machine.mispredict_penalty
+                    if stall > fetch_ready:
+                        fetch_ready = stall
+            else:
+                lat = lats[i]
+                d = dsts[i]
+                if d > 0:
+                    reg_ready[d] = cycle + lat
+                if op == _OP_IDIV or op == _OP_FDIV:
+                    fu_busy[fu] = cycle + lat
+
+        self.cycle = cycle
+        self._width_used = width_used
+        self._fetch_ready = fetch_ready
+
+    def run_window(self, events: List[BlockEvent]) -> WindowResult:
+        """Execute a list of events and report ops/cycles for the window."""
+        start = self.cycle
+        ops = 0
+        for event in events:
+            self.execute_event(event)
+            ops += event.block.n_ops
+        # The final instructions issue at self.cycle; they complete a cycle
+        # later at minimum.
+        return WindowResult(ops=ops, cycles=self.cycle - start + 1)
+
+
+#: Per-class issue limits as a list indexed by FuClass value.
+_FU_LIMIT_LIST: List[int] = [FU_LIMITS[FuClass(i)] for i in range(_N_FU)]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the PGSS-Sim framework.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch framework errors without
+accidentally swallowing programming mistakes such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProgramError",
+    "SimulationError",
+    "StreamExhausted",
+    "SamplingError",
+    "ClusteringError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class ProgramError(ReproError):
+    """A synthetic program or basic block is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class StreamExhausted(ReproError):
+    """A program stream ran out of events while more were required.
+
+    Raised by helpers that *must* consume a fixed number of operations;
+    plain iteration simply stops instead.
+    """
+
+
+class SamplingError(ReproError):
+    """A sampling technique was configured or driven incorrectly."""
+
+
+class ClusteringError(ReproError):
+    """k-means clustering could not be performed on the given data."""

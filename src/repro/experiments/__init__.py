@@ -1,0 +1,18 @@
+"""Experiment harness: one module per reproduced figure.
+
+The paper's evaluation consists of Figures 2-13 (there are no numbered
+tables).  Each ``figNN_*`` module exposes:
+
+* ``run(ctx)`` — compute the figure's data, returning a plain dict;
+* ``format_result(result)`` — render the same rows/series the paper
+  reports, as text.
+
+All experiments share an :class:`ExperimentContext`, which owns the scale
+configuration and an on-disk result cache (reference traces are expensive;
+one full-detail pass per benchmark powers many figures).
+"""
+
+from .runner import ExperimentContext
+from .cache import ResultCache
+
+__all__ = ["ExperimentContext", "ResultCache"]

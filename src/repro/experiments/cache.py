@@ -1,0 +1,87 @@
+"""On-disk caching of experiment results.
+
+Reference traces (one full-detail pass per benchmark) and technique runs
+are deterministic given their configuration, so they are cached under a
+key derived from the configuration.  The cache directory defaults to
+``<repo>/.expcache`` and can be overridden with the ``REPRO_CACHE_DIR``
+environment variable; delete the directory to force recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from ..sampling.full import ReferenceTrace
+
+__all__ = ["ResultCache"]
+
+#: Bump when a change invalidates previously cached results (simulator
+#: timing semantics, workload definitions, estimators).
+CACHE_VERSION = 6
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".expcache"
+
+
+class ResultCache:
+    """Content-addressed store for traces and JSON-able results."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory = Path(directory) if directory else _default_cache_dir()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, payload: Dict[str, Any]) -> str:
+        """Stable hash of a JSON-able payload plus the cache version."""
+        material = json.dumps(
+            {"v": CACHE_VERSION, **payload}, sort_keys=True, default=str
+        )
+        return hashlib.sha256(material.encode()).hexdigest()[:24]
+
+    def json(
+        self, payload: Dict[str, Any], compute: Callable[[], Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Return the cached result for *payload*, computing it on a miss."""
+        path = self.directory / f"{self.key(payload)}.json"
+        if path.exists():
+            self.hits += 1
+            with path.open() as fh:
+                return json.load(fh)
+        self.misses += 1
+        result = compute()
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w") as fh:
+            json.dump(result, fh)
+        tmp.replace(path)
+        return result
+
+    def trace(
+        self, payload: Dict[str, Any], compute: Callable[[], ReferenceTrace]
+    ) -> ReferenceTrace:
+        """Return the cached reference trace for *payload*."""
+        path = self.directory / f"{self.key(payload)}.npz"
+        if path.exists():
+            self.hits += 1
+            return ReferenceTrace.load(path)
+        self.misses += 1
+        trace = compute()
+        trace.save(path)
+        return trace
+
+    def clear(self) -> int:
+        """Delete every cached file; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*"):
+            if path.suffix in (".json", ".npz"):
+                path.unlink()
+                removed += 1
+        return removed

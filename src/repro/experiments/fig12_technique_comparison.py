@@ -1,0 +1,262 @@
+"""Figure 12: sampling error and detailed-simulation cost, all techniques.
+
+Reproduces both panels of the paper's headline figure for the ten
+benchmarks:
+
+* **SMARTS** — one canonical configuration;
+* **TurboSMARTS** — random-order sampling to the confidence target, plus
+  the Section-5 observation that its absolute error "typically falls well
+  outside these bounds";
+* **SimPoint** — the paper's eleven configurations (three interval sizes
+  x three cluster counts, plus two extras); shown as the best
+  configuration per benchmark and the best single overall configuration;
+* **Online SimPoint** — interval x threshold grid, same two views;
+* **PGSS** — the Figure 11 sweep, same two views.
+
+The shape to reproduce: SMARTS and SimPoint most accurate but expensive;
+PGSS close in accuracy with roughly an order of magnitude less detailed
+simulation than SMARTS and far less than SimPoint; PGSS both more accurate
+and cheaper than TurboSMARTS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..sampling.online_simpoint import OnlineSimPoint, OnlineSimPointConfig
+from ..sampling.simpoint import SimPoint, SimPointConfig
+from ..sampling.smarts import Smarts, SmartsConfig
+from ..sampling.turbosmarts import TurboSmarts, TurboSmartsConfig
+from ..stats.errors_metrics import arithmetic_mean, geometric_mean
+from .fig11_pgss_sweep import run as run_fig11
+from .formatting import fmt_ops, fmt_pct, table
+from .runner import ExperimentContext
+
+__all__ = ["run", "format_result", "OLSP_THRESHOLDS_PI"]
+
+#: Online-SimPoint threshold grid (the paper tested "various thresholds").
+OLSP_THRESHOLDS_PI = (0.05, 0.10, 0.15)
+
+
+def _per_benchmark(
+    ctx: ExperimentContext, run_one: Callable[[str], Dict[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    out: Dict[str, Dict[str, Any]] = {}
+    for benchmark in ctx.benchmarks:
+        res = dict(run_one(benchmark))
+        true = ctx.true_ipc(benchmark)
+        res["error_pct"] = 100.0 * abs(res["ipc_estimate"] - true) / true
+        out[benchmark] = res
+    return out
+
+
+def _summary(results: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    errors = [r["error_pct"] for r in results.values()]
+    details = [r["detailed_ops"] for r in results.values()]
+    return {
+        "errors": {b: r["error_pct"] for b, r in results.items()},
+        "detailed_ops": {b: r["detailed_ops"] for b, r in results.items()},
+        "a_mean": arithmetic_mean(errors),
+        "g_mean": geometric_mean(errors),
+        "mean_detailed_ops": arithmetic_mean(details),
+    }
+
+
+def _simpoint_grid(ctx: ExperimentContext) -> List[SimPointConfig]:
+    configs = [
+        SimPointConfig(interval, k)
+        for interval in ctx.scale.simpoint_intervals
+        for k in ctx.scale.simpoint_clusters
+    ]
+    configs += [
+        SimPointConfig(interval, k) for k, interval in ctx.scale.simpoint_extra
+    ]
+    # A configuration is only feasible when every benchmark yields at
+    # least k intervals.
+    max_intervals = ctx.scale.benchmark_ops
+    return [
+        cfg
+        for cfg in configs
+        if cfg.n_clusters <= max_intervals // cfg.interval_ops
+    ]
+
+
+def _grid_views(
+    ctx: ExperimentContext,
+    runs: Dict[str, Dict[str, Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Best-per-benchmark and best-overall views over a config grid.
+
+    Args:
+        runs: config label -> benchmark -> result dict (with error_pct).
+    """
+    labels = list(runs)
+    best_overall_label = min(
+        labels,
+        key=lambda lab: arithmetic_mean(
+            [runs[lab][b]["error_pct"] for b in ctx.benchmarks]
+        ),
+    )
+    best_per: Dict[str, Dict[str, Any]] = {}
+    for benchmark in ctx.benchmarks:
+        lab = min(labels, key=lambda L: runs[L][benchmark]["error_pct"])
+        entry = dict(runs[lab][benchmark])
+        entry["config"] = lab
+        best_per[benchmark] = entry
+    return {
+        "best_overall_config": best_overall_label,
+        "best_overall": _summary(runs[best_overall_label]),
+        "best_per_benchmark": _summary(best_per),
+        "best_per_benchmark_configs": {
+            b: best_per[b]["config"] for b in ctx.benchmarks
+        },
+    }
+
+
+def run(ctx: ExperimentContext) -> Dict[str, Any]:
+    """Run every technique on every benchmark (cached)."""
+    result: Dict[str, Any] = {"benchmarks": list(ctx.benchmarks)}
+
+    # SMARTS.
+    smarts_cfg = SmartsConfig.from_scale(ctx.scale)
+    result["SMARTS"] = _summary(
+        _per_benchmark(
+            ctx,
+            lambda b: ctx.run_cached(
+                b, Smarts(smarts_cfg, ctx.machine), {"period": smarts_cfg.period_ops}
+            ),
+        )
+    )
+
+    # TurboSMARTS (+ CI coverage observation).
+    turbo_cfg = TurboSmartsConfig.from_scale(ctx.scale)
+    turbo_runs = _per_benchmark(
+        ctx,
+        lambda b: ctx.run_cached(
+            b,
+            TurboSmarts(turbo_cfg, ctx.machine),
+            {"period": turbo_cfg.smarts.period_ops, "rel": turbo_cfg.rel_error},
+        ),
+    )
+    result["TurboSMARTS"] = _summary(turbo_runs)
+    converged = [
+        b for b, r in turbo_runs.items() if r["extras"].get("converged")
+    ]
+    outside = [
+        b
+        for b in converged
+        if turbo_runs[b]["error_pct"] > 100.0 * turbo_cfg.rel_error
+    ]
+    result["TurboSMARTS"]["converged"] = converged
+    result["TurboSMARTS"]["error_outside_bounds"] = outside
+    result["TurboSMARTS"]["rel_error_target_pct"] = 100.0 * turbo_cfg.rel_error
+
+    # SimPoint grid (profiling + interval IPCs from the reference trace).
+    sp_runs: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for cfg in _simpoint_grid(ctx):
+        technique = SimPoint(cfg, ctx.machine)
+        sp_runs[cfg.label] = _per_benchmark(
+            ctx,
+            lambda b, t=technique, c=cfg: ctx.run_cached(
+                b,
+                t,
+                {"interval": c.interval_ops, "k": c.n_clusters},
+                runner=lambda: t.run(ctx.program(b), trace=ctx.trace(b)),
+            ),
+        )
+    result["SimPoint"] = _grid_views(ctx, sp_runs)
+
+    # Online SimPoint grid.
+    olsp_runs: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for interval in ctx.scale.simpoint_intervals:
+        for threshold in OLSP_THRESHOLDS_PI:
+            cfg = OnlineSimPointConfig(interval, threshold)
+            technique = OnlineSimPoint(cfg, ctx.machine)
+            olsp_runs[cfg.label] = _per_benchmark(
+                ctx,
+                lambda b, t=technique, c=cfg: ctx.run_cached(
+                    b,
+                    t,
+                    {"interval": c.interval_ops, "threshold": c.threshold_pi},
+                    runner=lambda: t.run(ctx.program(b), trace=ctx.trace(b)),
+                ),
+            )
+    result["OnlineSimPoint"] = _grid_views(ctx, olsp_runs)
+
+    # PGSS: reuse the Figure 11 sweep.
+    fig11 = run_fig11(ctx)
+    pgss_runs: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for entry in fig11["grid"]:
+        label = f"{fmt_ops(entry['period'])}/.{int(entry['threshold_pi'] * 100):02d}"
+        pgss_runs[label] = {
+            b: {
+                "error_pct": entry["errors"][b],
+                "detailed_ops": entry["detailed_ops"][b],
+                "ipc_estimate": 0.0,
+            }
+            for b in ctx.benchmarks
+        }
+    result["PGSS"] = _grid_views(ctx, pgss_runs)
+
+    return result
+
+
+def format_result(result: Dict[str, Any]) -> str:
+    """Fig.-12 tables: error panel and detailed-ops panel."""
+    benchmarks = result["benchmarks"]
+    short = [b.split(".")[1] for b in benchmarks]
+
+    views = [
+        ("SMARTS", result["SMARTS"]),
+        ("TurboSMARTS", result["TurboSMARTS"]),
+        ("SimPoint(best)", result["SimPoint"]["best_per_benchmark"]),
+        (
+            f"SimPoint({result['SimPoint']['best_overall_config']})",
+            result["SimPoint"]["best_overall"],
+        ),
+        ("OLSP(best)", result["OnlineSimPoint"]["best_per_benchmark"]),
+        (
+            f"OLSP({result['OnlineSimPoint']['best_overall_config']})",
+            result["OnlineSimPoint"]["best_overall"],
+        ),
+        ("PGSS(best)", result["PGSS"]["best_per_benchmark"]),
+        (
+            f"PGSS({result['PGSS']['best_overall_config']})",
+            result["PGSS"]["best_overall"],
+        ),
+    ]
+
+    error_rows = []
+    detail_rows = []
+    for label, view in views:
+        error_rows.append(
+            [label]
+            + [fmt_pct(view["errors"][b]) for b in benchmarks]
+            + [fmt_pct(view["a_mean"]), fmt_pct(view["g_mean"])]
+        )
+        detail_rows.append(
+            [label]
+            + [fmt_ops(view["detailed_ops"][b]) for b in benchmarks]
+            + [fmt_ops(view["mean_detailed_ops"]), ""]
+        )
+
+    turbo = result["TurboSMARTS"]
+    pgss_detail = result["PGSS"]["best_overall"]["mean_detailed_ops"]
+    smarts_detail = result["SMARTS"]["mean_detailed_ops"]
+    sp_detail = result["SimPoint"]["best_overall"]["mean_detailed_ops"]
+    header = (
+        "Figure 12 — sampling error and detailed simulation per technique\n"
+        f"PGSS uses {smarts_detail / pgss_detail:.1f}x less detail than "
+        f"SMARTS and {sp_detail / pgss_detail:.1f}x less than SimPoint.\n"
+        f"TurboSMARTS converged on {len(turbo['converged'])} benchmarks; "
+        f"true error exceeded the {turbo['rel_error_target_pct']:.0f}% bound "
+        f"on {len(turbo['error_outside_bounds'])} of them "
+        "(the Gaussian-assumption failure the paper describes).\n\n"
+    )
+    return (
+        header
+        + "Sampling error (percent of benchmark IPC):\n"
+        + table(["technique"] + short + ["A-Mean", "G-Mean"], error_rows)
+        + "\n\nAmount of detailed simulation (ops):\n"
+        + table(["technique"] + short + ["mean", ""], detail_rows)
+    )

@@ -1,0 +1,176 @@
+"""Figure 13: simulation rates per mode and total simulation time.
+
+Two parts, mirroring the paper's figure:
+
+* the measured simulation rate of every execution mode, with and without
+  BBV tracking (the paper: BBV overhead is ~1% on detailed modes and
+  negligible on functional warming);
+* the total simulation time of SMARTS, SimPoint, Online SimPoint and
+  PGSS-Sim for the whole ten-benchmark suite, composed from each
+  technique's per-mode operation counts and the measured rates (no
+  checkpointing, as in the paper).
+
+The paper also notes its fast-forwarding is "only approximately four times
+faster than detailed simulation", which caps the wall-clock advantage of
+reduced detail; the measured ratio here is reported for comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from ..bbv import BbvTracker
+from ..cpu import Mode, SimulationEngine
+from ..sampling.smarts import SmartsConfig
+from .fig11_pgss_sweep import run_single as pgss_run_single
+from .fig12_technique_comparison import run as run_fig12
+from .formatting import table
+from .runner import ExperimentContext
+
+__all__ = ["run", "format_result", "measure_rates"]
+
+#: Workload and op budget used for rate calibration.
+RATE_BENCHMARK = "164.gzip"
+RATE_OPS = 600_000
+
+
+def measure_rates(ctx: ExperimentContext) -> Dict[str, float]:
+    """Measure ops/second for each mode, with and without BBV tracking."""
+
+    def one(mode: Mode, with_bbv: bool) -> float:
+        program = ctx.program(RATE_BENCHMARK)
+        tracker = BbvTracker() if with_bbv else None
+        engine = SimulationEngine(program, machine=ctx.machine, bbv_tracker=tracker)
+        # Warm the interpreter and caches briefly before timing.
+        engine.run(mode, RATE_OPS // 10)
+        start = time.perf_counter()
+        run = engine.run(mode, RATE_OPS)
+        elapsed = time.perf_counter() - start
+        return run.ops / elapsed if elapsed > 0 else 0.0
+
+    rates: Dict[str, float] = {}
+    for mode in (Mode.FUNC_FAST, Mode.FUNC_WARM, Mode.DETAIL_WARM, Mode.DETAIL):
+        for with_bbv in (False, True):
+            key = f"{mode.value}{'+bbv' if with_bbv else ''}"
+            rates[key] = one(mode, with_bbv)
+    return rates
+
+
+def _technique_times(
+    ctx: ExperimentContext, rates: Dict[str, float], fig12: Dict[str, Any]
+) -> Dict[str, Dict[str, float]]:
+    """Compose per-technique total times from op counts and rates."""
+    suite_ops = sum(ctx.trace(b).total_ops for b in ctx.benchmarks)
+    smarts_cfg = SmartsConfig.from_scale(ctx.scale)
+    times: Dict[str, Dict[str, float]] = {}
+
+    # SMARTS: functional warming between samples (no BBV), detailed
+    # warming + detail per sample.
+    smarts = fig12["SMARTS"]
+    detail_ops = sum(smarts["detailed_ops"].values())
+    n_samples = detail_ops / (smarts_cfg.detail_ops + smarts_cfg.warmup_ops)
+    measure_ops = n_samples * smarts_cfg.detail_ops
+    warm_ops = detail_ops - measure_ops
+    ff_ops = suite_ops - detail_ops
+    times["SMARTS"] = {
+        "ff": ff_ops / rates["func_warm"],
+        "warm": warm_ops / rates["detail_warm"],
+        "detail": measure_ops / rates["detail"],
+    }
+
+    # SimPoint (best overall config): one profiling pass with BBV, one
+    # simulation pass skipping to each representative, detail per point.
+    sp = fig12["SimPoint"]["best_overall"]
+    sp_detail = sum(sp["detailed_ops"].values())
+    times["SimPoint"] = {
+        "profile": suite_ops / rates["func_fast+bbv"],
+        "ff": (suite_ops - sp_detail) / rates["func_fast"],
+        "detail": sp_detail / rates["detail"],
+    }
+
+    # Online SimPoint (best overall): single pass, BBV tracked throughout.
+    olsp = fig12["OnlineSimPoint"]["best_overall"]
+    olsp_detail = sum(olsp["detailed_ops"].values())
+    times["OnlineSimPoint"] = {
+        "ff": (suite_ops - olsp_detail) / rates["func_fast+bbv"],
+        "detail": olsp_detail / rates["detail+bbv"],
+    }
+
+    # PGSS (best overall): functional warming with BBV, detailed warming +
+    # detail per sample (BBV stays on).
+    pgss = fig12["PGSS"]["best_overall"]
+    pgss_detail_total = sum(pgss["detailed_ops"].values())
+    # Detail/warming split mirrors SMARTS sample structure.
+    pgss_measure = pgss_detail_total * smarts_cfg.detail_ops / (
+        smarts_cfg.detail_ops + smarts_cfg.warmup_ops
+    )
+    pgss_warm = pgss_detail_total - pgss_measure
+    times["PGSS"] = {
+        "ff": (suite_ops - pgss_detail_total) / rates["func_warm+bbv"],
+        "warm": pgss_warm / rates["detail_warm+bbv"],
+        "detail": pgss_measure / rates["detail+bbv"],
+    }
+    return times
+
+
+def run(ctx: ExperimentContext) -> Dict[str, Any]:
+    """Measure rates and compose suite-level simulation times."""
+    rates = ctx.cache.json(
+        {"kind": "rates", "scale": ctx.scale.name, "ops": RATE_OPS},
+        lambda: measure_rates(ctx),
+    )
+    fig12 = run_fig12(ctx)
+    times = _technique_times(ctx, rates, fig12)
+    detail_ratio = rates["func_warm"] / rates["detail"] if rates["detail"] else 0.0
+    bbv_overhead_detail = (
+        1.0 - rates["detail+bbv"] / rates["detail"] if rates["detail"] else 0.0
+    )
+    pgss_detail_seconds = times["PGSS"]["warm"] + times["PGSS"]["detail"]
+    return {
+        "rates": rates,
+        "times": {t: dict(parts) for t, parts in times.items()},
+        "totals": {t: sum(parts.values()) for t, parts in times.items()},
+        "ff_vs_detail_ratio": detail_ratio,
+        "bbv_overhead_detail": bbv_overhead_detail,
+        "pgss_detail_seconds": pgss_detail_seconds,
+    }
+
+
+def format_result(result: Dict[str, Any]) -> str:
+    """Fig.-13 tables: per-mode rates and per-technique totals."""
+    rate_rows: List[List[str]] = []
+    label = {
+        "func_fast": "Fast-Forward",
+        "func_warm": "Functional Fast-Forward",
+        "detail_warm": "Detailed Warming",
+        "detail": "Detailed Simulation",
+    }
+    for key in ("func_fast", "func_warm", "detail_warm", "detail"):
+        rate_rows.append(
+            [
+                label[key],
+                f"{result['rates'][key] / 1e3:,.0f} kops/s",
+                f"{result['rates'][key + '+bbv'] / 1e3:,.0f} kops/s",
+            ]
+        )
+    time_rows = [
+        [tech, f"{total:,.1f} s"]
+        + [f"{result['times'][tech].get(part, 0.0):,.1f}" for part in ("ff", "warm", "detail")]
+        for tech, total in result["totals"].items()
+    ]
+    header = (
+        "Figure 13 — measured simulation rates and total suite times "
+        "(no checkpointing)\n"
+        f"functional warming is {result['ff_vs_detail_ratio']:.1f}x faster "
+        f"than detail (paper: ~4x); BBV overhead on detail: "
+        f"{100 * result['bbv_overhead_detail']:.1f}%\n"
+        f"PGSS combined detailed warming + simulation: "
+        f"{result['pgss_detail_seconds']:.2f} s for the whole suite\n\n"
+    )
+    return (
+        header
+        + table(["mode", "w/o BBV", "with BBV"], rate_rows)
+        + "\n\n"
+        + table(["technique", "total", "ff(s)", "warm(s)", "detail(s)"], time_rows)
+    )

@@ -1,0 +1,43 @@
+"""Small text-table helpers shared by the figure modules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["table", "fmt_ops", "fmt_pct"]
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def fmt_ops(n: float) -> str:
+    """Format an op count compactly (1.2M, 340k, ...)."""
+    n = float(n)
+    if n >= 1e9:
+        return f"{n / 1e9:.2f}G"
+    if n >= 1e6:
+        return f"{n / 1e6:.2f}M"
+    if n >= 1e3:
+        return f"{n / 1e3:.0f}k"
+    return f"{n:.0f}"
+
+
+def fmt_pct(x: float) -> str:
+    """Format a percentage with sensible precision."""
+    if x >= 100:
+        return f"{x:.0f}%"
+    if x >= 10:
+        return f"{x:.1f}%"
+    return f"{x:.2f}%"

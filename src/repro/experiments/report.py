@@ -1,0 +1,60 @@
+"""Full-reproduction report: every figure, one text document.
+
+``pgss-sim report`` runs (or loads from cache) all nine reproduced figures
+and assembles their tables into a single report — the machine-generated
+counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import List, Optional
+
+from .runner import ExperimentContext
+
+__all__ = ["FIGURE_MODULES", "generate_report"]
+
+#: Figure number -> experiments module name, in presentation order.
+FIGURE_MODULES = (
+    ("1", "fig01_timeline"),
+    ("2", "fig02_sampling_granularity"),
+    ("3", "fig03_ipc_distribution"),
+    ("6/7", "fig07_change_distribution"),
+    ("8", "fig08_detection_rate"),
+    ("9", "fig09_false_positives"),
+    ("10", "fig10_twolf_threshold"),
+    ("11", "fig11_pgss_sweep"),
+    ("12", "fig12_technique_comparison"),
+    ("13", "fig13_simulation_time"),
+    ("ext-stratification", "stratification_gain"),
+    ("ext-tradeoff", "tradeoff"),
+)
+
+
+def generate_report(
+    ctx: ExperimentContext, figures: Optional[List[str]] = None
+) -> str:
+    """Run the selected figures (default: all) and return the report text.
+
+    Args:
+        ctx: experiment context (results come from its cache when warm).
+        figures: figure numbers to include (e.g. ``["2", "12"]``).
+    """
+    wanted = set(figures) if figures else None
+    sections = [
+        "PGSS-Sim reproduction report",
+        f"scale: {ctx.scale.name} "
+        f"({ctx.scale.benchmark_ops:,} ops/benchmark, "
+        f"{len(ctx.benchmarks)} benchmarks)",
+        "=" * 72,
+    ]
+    for number, module_name in FIGURE_MODULES:
+        if wanted is not None and number not in wanted:
+            continue
+        module = importlib.import_module(
+            f".{module_name}", "repro.experiments"
+        )
+        result = module.run(ctx)
+        sections.append(module.format_result(result))
+        sections.append("-" * 72)
+    return "\n\n".join(sections)

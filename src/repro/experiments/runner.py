@@ -1,0 +1,127 @@
+"""The shared experiment context.
+
+Owns the scale configuration, machine model, and result cache, and
+provides the primitives every figure module needs: fresh programs, cached
+reference traces, true IPCs, and cached technique runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from ..config import DEFAULT_MACHINE, MachineConfig, Scale, ScaleConfig
+from ..program import Program, WORKLOAD_NAMES, get_workload
+from ..sampling.base import SamplingResult, SamplingTechnique
+from ..sampling.full import ReferenceTrace, collect_reference_trace
+from .cache import ResultCache
+
+__all__ = ["ExperimentContext"]
+
+
+class ExperimentContext:
+    """Everything a figure module needs to run.
+
+    Args:
+        scale: interval-scale configuration (default: ``Scale.SCALED``).
+        machine: simulated machine.
+        cache_dir: result-cache directory (default: ``<repo>/.expcache``).
+        benchmarks: workload subset (default: the paper's ten).
+    """
+
+    def __init__(
+        self,
+        scale: ScaleConfig = Scale.SCALED,
+        machine: MachineConfig = DEFAULT_MACHINE,
+        cache_dir: Optional[Path] = None,
+        benchmarks: Optional[List[str]] = None,
+    ) -> None:
+        self.scale = scale
+        self.machine = machine
+        self.cache = ResultCache(cache_dir)
+        self.benchmarks = list(benchmarks) if benchmarks else list(WORKLOAD_NAMES)
+
+    def _machine_key(self) -> Dict[str, Any]:
+        return asdict(self.machine)
+
+    def program(self, name: str) -> Program:
+        """A fresh instance of workload *name* at this context's scale."""
+        return get_workload(name, self.scale)
+
+    def trace(self, name: str) -> ReferenceTrace:
+        """Cached instrumented full-detail trace of workload *name*."""
+        payload = {
+            "kind": "trace",
+            "benchmark": name,
+            "scale": self.scale.name,
+            "ops": self.scale.benchmark_ops,
+            "window": self.scale.trace_window,
+            "machine": self._machine_key(),
+        }
+        return self.cache.trace(
+            payload,
+            lambda: collect_reference_trace(
+                self.program(name), self.scale.trace_window, machine=self.machine
+            ),
+        )
+
+    def true_ipc(self, name: str) -> float:
+        """Ground-truth IPC of workload *name* (from the cached trace)."""
+        return self.trace(name).true_ipc
+
+    def run_cached(
+        self,
+        benchmark: str,
+        technique: SamplingTechnique,
+        config_key: Dict[str, Any],
+        runner: Optional[Callable[[], SamplingResult]] = None,
+    ) -> Dict[str, Any]:
+        """Run *technique* on *benchmark* with caching.
+
+        Args:
+            benchmark: workload name.
+            technique: configured technique instance.
+            config_key: JSON-able description of the configuration (cache
+                key component).
+            runner: optional override of the default
+                ``technique.run(program)`` call (e.g. to pass a trace).
+
+        Returns a plain dict with the result fields needed by the figures.
+        """
+        payload = {
+            "kind": "technique",
+            "benchmark": benchmark,
+            "technique": technique.name,
+            "config": config_key,
+            "scale": self.scale.name,
+            "ops": self.scale.benchmark_ops,
+            "machine": self._machine_key(),
+        }
+
+        def compute() -> Dict[str, Any]:
+            result = runner() if runner else technique.run(self.program(benchmark))
+            return {
+                "technique": result.technique,
+                "benchmark": result.program,
+                "ipc_estimate": result.ipc_estimate,
+                "detailed_ops": result.detailed_ops,
+                "total_ops": result.total_ops,
+                "n_samples": result.n_samples,
+                "extras": _jsonable(result.extras),
+            }
+
+        return self.cache.json(payload, compute)
+
+
+def _jsonable(obj: Any) -> Any:
+    """Best-effort conversion of extras to JSON-compatible values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)

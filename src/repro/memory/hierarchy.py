@@ -1,0 +1,164 @@
+"""Two-level cache hierarchy with split L1 and unified L2.
+
+Latency semantics follow the usual inclusive look-through model: an L1 hit
+costs the L1 hit latency, an L1 miss that hits in L2 costs L1 + L2 latency,
+and an L2 miss additionally pays the memory latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..config import MachineConfig
+from .cache import Cache
+
+__all__ = ["AccessResult", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one hierarchy access.
+
+    Attributes:
+        latency: total cycles to satisfy the access.
+        level: 1 for an L1 hit, 2 for an L2 hit, 3 for main memory.
+    """
+
+    latency: int
+    level: int
+
+
+class CacheHierarchy:
+    """Split L1 I/D caches backed by a unified L2 and main memory.
+
+    The hierarchy exposes two call styles:
+
+    * :meth:`access_data` / :meth:`access_inst` — full result objects,
+      used by tests and tooling;
+    * :meth:`data_latency` / :meth:`inst_latency` — bare integer latencies,
+      used by the pipeline's hot loop.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        shared_l2: Cache = None,
+        address_salt: int = 0,
+    ) -> None:
+        """Build the hierarchy.
+
+        Args:
+            machine: cache geometry and latencies.
+            shared_l2: when given, this L2 instance is used instead of a
+                private one — the chip-multiprocessor configuration where
+                several cores' private L1s share one L2 (paper Section 5:
+                the simulated core "is meant to be roughly representative
+                of a single core on a modern chip multiprocessor").
+            address_salt: high-bit XOR salt applied to every address —
+                models distinct physical address spaces per core so two
+                programs built from the same generator do not falsely
+                share lines in the shared L2.  Must only set bits above
+                any generated address (the default core salts use
+                bit 36+), so private-cache behaviour is unchanged.
+        """
+        self.machine = machine
+        self.l1i = Cache(machine.l1i, "L1I")
+        self.l1d = Cache(machine.l1d, "L1D")
+        self.l2 = shared_l2 if shared_l2 is not None else Cache(machine.l2, "L2")
+        self.memory_accesses = 0
+        self._salt = address_salt
+
+    def data_latency(self, addr: int, is_write: bool = False) -> int:
+        """Access the data side; return total latency in cycles."""
+        addr ^= self._salt
+        lat = self.l1d.hit_latency
+        if self.l1d.access(addr, is_write):
+            return lat
+        lat += self.l2.hit_latency
+        if self.l2.access(addr, is_write):
+            return lat
+        self.memory_accesses += 1
+        return lat + self.machine.memory_latency
+
+    def inst_latency(self, addr: int) -> int:
+        """Access the instruction side; return total latency in cycles."""
+        addr ^= self._salt
+        lat = self.l1i.hit_latency
+        if self.l1i.access(addr):
+            return lat
+        lat += self.l2.hit_latency
+        if self.l2.access(addr):
+            return lat
+        self.memory_accesses += 1
+        return lat + self.machine.memory_latency
+
+    def access_data(self, addr: int, is_write: bool = False) -> AccessResult:
+        """Access the data side; return latency and the servicing level."""
+        before_l2 = self.l2.stats.hits
+        before_l1 = self.l1d.stats.hits
+        lat = self.data_latency(addr, is_write)
+        if self.l1d.stats.hits > before_l1:
+            return AccessResult(lat, 1)
+        if self.l2.stats.hits > before_l2:
+            return AccessResult(lat, 2)
+        return AccessResult(lat, 3)
+
+    def access_inst(self, addr: int) -> AccessResult:
+        """Access the instruction side; return latency and servicing level."""
+        before_l2 = self.l2.stats.hits
+        before_l1 = self.l1i.stats.hits
+        lat = self.inst_latency(addr)
+        if self.l1i.stats.hits > before_l1:
+            return AccessResult(lat, 1)
+        if self.l2.stats.hits > before_l2:
+            return AccessResult(lat, 2)
+        return AccessResult(lat, 3)
+
+    def warm_data(self, addr: int, is_write: bool = False) -> None:
+        """Touch the data side without caring about latency (warming mode)."""
+        addr ^= self._salt
+        if not self.l1d.access(addr, is_write):
+            if not self.l2.access(addr, is_write):
+                self.memory_accesses += 1
+
+    def warm_inst(self, addr: int) -> None:
+        """Touch the instruction side without caring about latency."""
+        addr ^= self._salt
+        if not self.l1i.access(addr):
+            if not self.l2.access(addr):
+                self.memory_accesses += 1
+
+    def flush(self) -> None:
+        """Invalidate all three caches."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()
+
+    def reset_stats(self) -> None:
+        """Zero the counters of all three caches."""
+        self.l1i.stats.reset()
+        self.l1d.stats.reset()
+        self.l2.stats.reset()
+        self.memory_accesses = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture all cache contents for checkpointing."""
+        return {
+            "l1i": self.l1i.snapshot(),
+            "l1d": self.l1d.snapshot(),
+            "l2": self.l2.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore contents captured by :meth:`snapshot`."""
+        self.l1i.restore(state["l1i"])
+        self.l1d.restore(state["l1d"])
+        self.l2.restore(state["l2"])
+
+    def stats_summary(self) -> Dict[str, Tuple[int, int]]:
+        """Per-level (accesses, hits) pairs, keyed by cache name."""
+        return {
+            c.name: (c.stats.accesses, c.stats.hits)
+            for c in (self.l1i, self.l1d, self.l2)
+        }

@@ -1,0 +1,121 @@
+"""Adaptive per-benchmark threshold selection (paper Section 7).
+
+"Since the optimal parameters for PGSS-Sim vary between benchmarks, these
+parameters must be automatically adjusted to each benchmark either in some
+sort of offline analysis of the benchmark or ideally, the algorithm would
+adapt at runtime to program characteristics."
+
+This module implements the runtime variant: the selector watches the BBV
+stream of a short execution prefix (no detailed simulation required), runs
+the online classifier at every candidate threshold, and picks the largest
+threshold whose phase structure is *usable* — enough distinct phases to
+carry information, but intervals long and stable enough that each phase can
+actually be characterised with a handful of small samples (the failure
+modes called out in Section 5: "when the BBV sampling is too short or the
+threshold value too low, the phase changes occur too frequently and there
+are too many phases to accurately characterize").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .classifier import OnlinePhaseClassifier
+
+__all__ = ["AdaptiveThresholdSelector"]
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    threshold: float
+    n_phases: int
+    change_rate: float
+    score: float
+
+
+class AdaptiveThresholdSelector:
+    """Chooses a PGSS threshold from a prefix of the BBV stream.
+
+    Args:
+        candidates: thresholds to evaluate, as fractions of pi
+            (default: the paper's swept values).
+        max_change_rate: reject thresholds whose per-period phase-change
+            probability exceeds this (phases too unstable to sample).
+        min_phases: reject thresholds that collapse execution into fewer
+            phases than this (no information left to exploit) unless every
+            candidate does.
+        max_phases_per_period: reject thresholds creating more phases than
+            this fraction of observed periods (too many tiny phases).
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[float] = (0.05, 0.10, 0.15, 0.20, 0.25),
+        max_change_rate: float = 0.35,
+        min_phases: int = 2,
+        max_phases_per_period: float = 0.25,
+    ) -> None:
+        if not candidates:
+            raise ConfigurationError("at least one candidate threshold is required")
+        if any(c <= 0 or c > 1 for c in candidates):
+            raise ConfigurationError("candidates are fractions of pi in (0, 1]")
+        self.candidates = sorted(candidates)
+        self.max_change_rate = max_change_rate
+        self.min_phases = min_phases
+        self.max_phases_per_period = max_phases_per_period
+
+    def evaluate(self, bbvs: Sequence[np.ndarray]) -> List[dict]:
+        """Score every candidate on the prefix; returns per-candidate dicts."""
+        if len(bbvs) < 4:
+            raise ConfigurationError("need at least 4 BBV periods to adapt")
+        results = []
+        n = len(bbvs)
+        for frac in self.candidates:
+            classifier = OnlinePhaseClassifier(frac * math.pi)
+            for bbv in bbvs:
+                classifier.observe(np.asarray(bbv, dtype=np.float64), 1)
+            change_rate = classifier.n_changes / max(n - 1, 1)
+            phase_density = classifier.n_phases / n
+            usable = (
+                change_rate <= self.max_change_rate
+                and phase_density <= self.max_phases_per_period
+            )
+            # Prefer tight thresholds (more sensitivity) among usable ones:
+            # score rewards structure (phases > 1) and penalises churn.
+            structure = min(classifier.n_phases, 8) / 8.0
+            score = structure * (1.0 - change_rate) - frac
+            results.append(
+                {
+                    "threshold": frac,
+                    "n_phases": classifier.n_phases,
+                    "change_rate": change_rate,
+                    "usable": usable,
+                    "score": score,
+                }
+            )
+        return results
+
+    def select(self, bbvs: Sequence[np.ndarray]) -> float:
+        """Return the chosen threshold as a fraction of pi.
+
+        Picks the tightest *usable* candidate that still finds at least
+        ``min_phases`` phases; falls back to the best-scoring candidate
+        when none qualifies.
+        """
+        results = self.evaluate(bbvs)
+        usable = [
+            r
+            for r in results
+            if r["usable"] and r["n_phases"] >= self.min_phases
+        ]
+        if usable:
+            return min(usable, key=lambda r: r["threshold"])["threshold"]
+        informative = [r for r in results if r["n_phases"] >= self.min_phases]
+        pool = informative if informative else results
+        best: Optional[dict] = max(pool, key=lambda r: r["score"])
+        return best["threshold"]

@@ -1,0 +1,161 @@
+"""The online phase classifier of PGSS-Sim (paper Figures 4 and 5).
+
+Per BBV sampling period the classifier receives the period's normalised
+vector and decides, in order:
+
+1. compare against the *previous period's* vector — "it is most likely
+   that no phase change occurred"; below threshold means stay in the
+   current phase;
+2. otherwise compare against every known phase's representative; the best
+   match below threshold becomes the current phase;
+3. otherwise a new phase is created.
+
+Distances are angles (radians); the threshold is typically quoted as a
+fraction of pi (the paper's best overall value is 0.05 pi).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..bbv.vector import angle_between, manhattan_distance
+from ..errors import ConfigurationError
+from .profile import PhaseProfile
+
+__all__ = ["PhaseDecision", "OnlinePhaseClassifier"]
+
+
+@dataclass(frozen=True)
+class PhaseDecision:
+    """Outcome of classifying one period's BBV.
+
+    Attributes:
+        phase_id: the phase the period was assigned to.
+        changed: True when the current phase differs from the previous
+            period's phase.
+        created: True when a brand-new phase was created.
+        angle_to_prev: distance to the previous period's vector (radians
+            for the angle metric).
+    """
+
+    phase_id: int
+    changed: bool
+    created: bool
+    angle_to_prev: float
+
+
+class OnlinePhaseClassifier:
+    """Run-time phase detection over a stream of normalised BBVs.
+
+    Args:
+        threshold: distance below which two vectors are "the same phase".
+            For the default angle metric this is in radians
+            (e.g. ``0.05 * math.pi``).
+        metric: ``"angle"`` (the paper's cosine-derived angle) or
+            ``"manhattan"`` (SimPoint's L1 metric, for the ablation study).
+    """
+
+    def __init__(self, threshold: float, metric: str = "angle") -> None:
+        if threshold < 0:
+            raise ConfigurationError("threshold must be non-negative")
+        if metric == "angle":
+            if threshold > math.pi:
+                raise ConfigurationError("angle thresholds cannot exceed pi")
+            self._distance: Callable[[np.ndarray, np.ndarray], float] = angle_between
+        elif metric == "manhattan":
+            self._distance = manhattan_distance
+        else:
+            raise ConfigurationError(f"unknown metric {metric!r}")
+        self.threshold = threshold
+        self.metric = metric
+        self.phases: List[PhaseProfile] = []
+        self.current_phase_id: Optional[int] = None
+        self._last_bbv: Optional[np.ndarray] = None
+        self.n_changes = 0
+        self.n_observations = 0
+
+    @property
+    def n_phases(self) -> int:
+        """Number of distinct phases discovered so far."""
+        return len(self.phases)
+
+    @property
+    def current_phase(self) -> Optional[PhaseProfile]:
+        """Profile of the phase the execution is currently in."""
+        if self.current_phase_id is None:
+            return None
+        return self.phases[self.current_phase_id]
+
+    def observe(self, bbv: np.ndarray, ops: int) -> PhaseDecision:
+        """Classify one period's normalised BBV (Fig. 5 decision diamonds).
+
+        Args:
+            bbv: the period's L2-normalised vector.
+            ops: operations executed during the period (attributed to the
+                chosen phase).
+        """
+        self.n_observations += 1
+        previous_id = self.current_phase_id
+
+        if self._last_bbv is None:
+            # First period ever: it founds phase 0.
+            profile = PhaseProfile(0, bbv)
+            profile.add_ops(ops)
+            self.phases.append(profile)
+            self.current_phase_id = 0
+            self._last_bbv = bbv
+            return PhaseDecision(0, changed=False, created=True, angle_to_prev=0.0)
+
+        d_prev = self._distance(bbv, self._last_bbv)
+        if d_prev < self.threshold and previous_id is not None:
+            profile = self.phases[previous_id]
+            profile.add_bbv(bbv, ops)
+            self._last_bbv = bbv
+            return PhaseDecision(
+                previous_id, changed=False, created=False, angle_to_prev=d_prev
+            )
+
+        # Does the BBV match an existing phase?
+        best_id = None
+        best_d = math.inf
+        for profile in self.phases:
+            d = self._distance(bbv, profile.representative)
+            if d < best_d:
+                best_d = d
+                best_id = profile.phase_id
+        if best_id is not None and best_d < self.threshold:
+            profile = self.phases[best_id]
+            profile.add_bbv(bbv, ops)
+            changed = best_id != previous_id
+            if changed:
+                self.n_changes += 1
+            self.current_phase_id = best_id
+            self._last_bbv = bbv
+            return PhaseDecision(
+                best_id, changed=changed, created=False, angle_to_prev=d_prev
+            )
+
+        # Create a new phase.
+        new_id = len(self.phases)
+        profile = PhaseProfile(new_id, bbv)
+        profile.add_ops(ops)
+        self.phases.append(profile)
+        self.current_phase_id = new_id
+        self.n_changes += 1
+        self._last_bbv = bbv
+        return PhaseDecision(new_id, changed=True, created=True, angle_to_prev=d_prev)
+
+    def ops_per_phase(self) -> Dict[int, int]:
+        """Mapping of phase id to attributed operations."""
+        return {p.phase_id: p.ops for p in self.phases}
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlinePhaseClassifier(threshold={self.threshold:.4f}, "
+            f"metric={self.metric!r}, phases={self.n_phases}, "
+            f"changes={self.n_changes})"
+        )

@@ -1,0 +1,194 @@
+"""Hierarchical and variable-length phase analysis (paper reference [4]).
+
+The paper's background cites Lau et al., "Motivation for variable length
+intervals and hierarchical phase behavior" (ISPASS'05): program phases
+nest — fine-grained phases compose into coarse ones — and fixed-length
+intervals straddle phase boundaries that variable-length intervals can
+respect.  Both ideas matter to PGSS: its BBV period is a fixed-length
+interval, and its art/mcf pathology (Section 5) is precisely a hierarchy
+mismatch between micro-phases and the sampling period.
+
+Two tools:
+
+* :func:`variable_length_intervals` — greedy segmentation of a BBV window
+  series into maximal runs whose consecutive windows stay within a
+  threshold angle (the variable-length-interval view);
+* :func:`hierarchical_phases` — classify the same execution at several
+  granularities and relate the levels: how much of each coarse phase's
+  execution is explained by its dominant fine phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..bbv.vector import angle_between
+from ..errors import SamplingError
+from .classifier import OnlinePhaseClassifier
+
+__all__ = [
+    "VariableInterval",
+    "variable_length_intervals",
+    "HierarchyLevel",
+    "hierarchical_phases",
+]
+
+
+@dataclass(frozen=True)
+class VariableInterval:
+    """One variable-length interval.
+
+    Attributes:
+        start_window / end_window: half-open window-index range.
+        ops: operations covered.
+        phase_id: phase assigned by classifying the interval's summed BBV.
+    """
+
+    start_window: int
+    end_window: int
+    ops: int
+    phase_id: int
+
+    @property
+    def n_windows(self) -> int:
+        """Fine windows merged into this interval."""
+        return self.end_window - self.start_window
+
+
+def variable_length_intervals(
+    bbvs: Sequence[np.ndarray],
+    ops: Sequence[int],
+    threshold: float,
+) -> List[VariableInterval]:
+    """Segment a window series into maximal same-behaviour runs.
+
+    A new interval starts whenever the angle between consecutive window
+    BBVs reaches *threshold* (radians).  Each interval's aggregate BBV is
+    then classified with an :class:`OnlinePhaseClassifier` at the same
+    threshold, so recurring behaviour maps to recurring phase ids.
+
+    Raises:
+        SamplingError: on empty input or mismatched lengths.
+    """
+    if len(bbvs) != len(ops):
+        raise SamplingError("bbvs and ops must be the same length")
+    if not bbvs:
+        raise SamplingError("empty window series")
+
+    boundaries = [0]
+    for i in range(1, len(bbvs)):
+        if angle_between(bbvs[i - 1], bbvs[i]) >= threshold:
+            boundaries.append(i)
+    boundaries.append(len(bbvs))
+
+    classifier = OnlinePhaseClassifier(threshold)
+    intervals: List[VariableInterval] = []
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        if lo == hi:
+            continue
+        summed = np.sum(np.asarray(bbvs[lo:hi], dtype=np.float64), axis=0)
+        norm = float(np.sqrt(np.dot(summed, summed)))
+        if norm > 0:
+            summed = summed / norm
+        interval_ops = int(sum(ops[lo:hi]))
+        decision = classifier.observe(summed, interval_ops)
+        intervals.append(
+            VariableInterval(
+                start_window=lo,
+                end_window=hi,
+                ops=interval_ops,
+                phase_id=decision.phase_id,
+            )
+        )
+    return intervals
+
+
+@dataclass(frozen=True)
+class HierarchyLevel:
+    """Phase classification of one granularity level.
+
+    Attributes:
+        factor: windows aggregated per period at this level.
+        assignments: per-period phase ids (length = ceil(n / factor)).
+        n_phases: distinct phases at this level.
+        coherence: fraction of each coarse period's fine-level windows
+            belonging to the coarse period's dominant fine phase, averaged
+            over coarse periods (1.0 = perfectly nested hierarchy); for
+            the finest level this is 1.0 by definition.
+    """
+
+    factor: int
+    assignments: List[int]
+    n_phases: int
+    coherence: float
+
+
+def hierarchical_phases(
+    bbvs: Sequence[np.ndarray],
+    ops: Sequence[int],
+    factors: Sequence[int],
+    threshold_pi: float = 0.05,
+) -> Dict[int, HierarchyLevel]:
+    """Classify one execution at several granularities.
+
+    Args:
+        bbvs: finest-granularity raw (or normalised) window BBVs.
+        ops: per-window op counts.
+        factors: aggregation factors, e.g. ``(1, 4, 16)``; must be
+            ascending and start at 1.
+        threshold_pi: classifier threshold as a fraction of pi.
+
+    Returns a mapping factor -> :class:`HierarchyLevel`.  The expected
+    hierarchy signatures: phase counts fall as the factor grows, and
+    coherence stays high when fine phases nest cleanly inside coarse ones.
+    """
+    if len(bbvs) != len(ops):
+        raise SamplingError("bbvs and ops must be the same length")
+    if not bbvs:
+        raise SamplingError("empty window series")
+    if not factors or factors[0] != 1 or list(factors) != sorted(set(factors)):
+        raise SamplingError("factors must be ascending, unique, starting at 1")
+
+    arr = np.asarray(bbvs, dtype=np.float64)
+    ops_arr = np.asarray(ops, dtype=np.int64)
+    levels: Dict[int, HierarchyLevel] = {}
+    fine_assignments: List[int] = []
+
+    for factor in factors:
+        groups = (len(bbvs) + factor - 1) // factor
+        classifier = OnlinePhaseClassifier(threshold_pi * math.pi)
+        assignments: List[int] = []
+        for g in range(groups):
+            lo, hi = g * factor, min((g + 1) * factor, len(bbvs))
+            summed = arr[lo:hi].sum(axis=0)
+            norm = float(np.sqrt(np.dot(summed, summed)))
+            if norm > 0:
+                summed = summed / norm
+            decision = classifier.observe(summed, int(ops_arr[lo:hi].sum()))
+            assignments.append(decision.phase_id)
+
+        if factor == 1:
+            fine_assignments = assignments
+            coherence = 1.0
+        else:
+            scores = []
+            for g in range(groups):
+                lo, hi = g * factor, min((g + 1) * factor, len(bbvs))
+                members = fine_assignments[lo:hi]
+                if not members:
+                    continue
+                dominant = max(set(members), key=members.count)
+                scores.append(members.count(dominant) / len(members))
+            coherence = float(np.mean(scores)) if scores else 0.0
+
+        levels[factor] = HierarchyLevel(
+            factor=factor,
+            assignments=assignments,
+            n_phases=classifier.n_phases,
+            coherence=coherence,
+        )
+    return levels

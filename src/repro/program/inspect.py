@@ -1,0 +1,123 @@
+"""Program inspection utilities: static and dynamic workload statistics.
+
+Gives users (and the test suite) a quantitative view of a synthetic
+workload: instruction-mix histogram, memory footprints, behaviour
+occupancy, and the static/dynamic block profiles that a BBV-based
+technique implicitly depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa import Op
+from .mem_patterns import PatternKind
+from .program import Program
+from .stream import ProgramStream
+
+__all__ = ["StaticProfile", "DynamicProfile", "static_profile", "dynamic_profile"]
+
+
+@dataclass
+class StaticProfile:
+    """Static properties of a program.
+
+    Attributes:
+        n_blocks: static basic-block count.
+        n_instructions: total static instructions.
+        op_mix: opcode class -> static count.
+        mem_footprint_bytes: summed span of all memory patterns.
+        pattern_mix: pattern kind -> count of static memory instructions.
+        text_span_bytes: address range covered by the blocks.
+        n_behaviors: behaviour count.
+        n_segments: phase-script length.
+    """
+
+    n_blocks: int
+    n_instructions: int
+    op_mix: Dict[str, int] = field(default_factory=dict)
+    mem_footprint_bytes: int = 0
+    pattern_mix: Dict[str, int] = field(default_factory=dict)
+    text_span_bytes: int = 0
+    n_behaviors: int = 0
+    n_segments: int = 0
+
+
+def static_profile(program: Program) -> StaticProfile:
+    """Compute the static profile of *program*."""
+    op_mix: Dict[str, int] = {}
+    pattern_mix: Dict[str, int] = {}
+    footprint = 0
+    n_instructions = 0
+    for block in program.blocks:
+        n_instructions += block.n_ops
+        for inst in block.instructions:
+            op_mix[Op(inst.op).name] = op_mix.get(Op(inst.op).name, 0) + 1
+        for pattern in block.mem_patterns:
+            kind = pattern.kind.name
+            pattern_mix[kind] = pattern_mix.get(kind, 0) + 1
+            footprint += pattern.span
+    addresses = [b.address for b in program.blocks]
+    ends = [b.branch_address + 4 for b in program.blocks]
+    return StaticProfile(
+        n_blocks=program.n_blocks,
+        n_instructions=n_instructions,
+        op_mix=op_mix,
+        mem_footprint_bytes=footprint,
+        pattern_mix=pattern_mix,
+        text_span_bytes=max(ends) - min(addresses),
+        n_behaviors=len(program.behaviors),
+        n_segments=len(program.script),
+    )
+
+
+@dataclass
+class DynamicProfile:
+    """Dynamic (executed) properties of a program.
+
+    Attributes:
+        total_ops: dynamic operations executed.
+        total_events: dynamic basic-block executions.
+        block_ops: block id -> ops contributed.
+        behavior_ops: behaviour name -> ops contributed (via the script's
+            nominal attribution).
+        taken_fraction: fraction of dynamic branches that were taken.
+        mean_block_ops: average dynamic block length.
+    """
+
+    total_ops: int
+    total_events: int
+    block_ops: Dict[int, int] = field(default_factory=dict)
+    behavior_ops: Dict[str, int] = field(default_factory=dict)
+    taken_fraction: float = 0.0
+    mean_block_ops: float = 0.0
+
+
+def dynamic_profile(program: Program) -> DynamicProfile:
+    """Walk *program*'s stream and accumulate dynamic statistics."""
+    stream = ProgramStream(program)
+    block_ops: Dict[int, int] = {}
+    taken = 0
+    events = 0
+    for event in stream:
+        n = event.block.n_ops
+        block_ops[event.block.bid] = block_ops.get(event.block.bid, 0) + n
+        taken += 1 if event.taken else 0
+        events += 1
+
+    behavior_ops: Dict[str, int] = {}
+    for segment in program.script:
+        behavior_ops[segment.behavior] = (
+            behavior_ops.get(segment.behavior, 0) + segment.ops
+        )
+
+    total = stream.ops_emitted
+    return DynamicProfile(
+        total_ops=total,
+        total_events=events,
+        block_ops=block_ops,
+        behavior_ops=behavior_ops,
+        taken_fraction=taken / events if events else 0.0,
+        mean_block_ops=total / events if events else 0.0,
+    )

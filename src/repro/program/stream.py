@@ -1,0 +1,178 @@
+"""The program stream: a resumable walk of a program's phase script.
+
+Every simulation mode consumes the same stream of :class:`BlockEvent`
+records — one per dynamic basic-block execution.  The stream is an explicit
+state machine (not a generator) so it can be snapshotted and restored,
+which is what makes checkpoints/livepoints (paper Section 6) possible and
+lets SimPoint's two passes see byte-identical traces.
+
+The per-block execution counter carried in each event doubles as the *k*
+input to the block's memory-address generators, so machine-independent
+program state is fully captured by (script position, counters, RNG state).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+
+from ..errors import ProgramError, StreamExhausted
+from .block import BasicBlock
+from .program import Program
+
+__all__ = ["BlockEvent", "ProgramStream"]
+
+
+class BlockEvent(NamedTuple):
+    """One dynamic basic-block execution.
+
+    Attributes:
+        block: the static block executed.
+        taken: outcome of the terminating branch.
+        k: this block's execution count *before* this event (the input to
+            its memory-address generators).
+    """
+
+    block: BasicBlock
+    taken: bool
+    k: int
+
+
+class ProgramStream:
+    """Iterator over a program's dynamic basic-block executions.
+
+    Args:
+        program: the program to walk.
+
+    The stream ends when the phase script is exhausted; :attr:`ops_emitted`
+    then equals the program's nominal length give or take the final block.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._rng = random.Random(program.seed)
+        self._exec_counts: List[int] = [0] * program.n_blocks
+        self._seg_index = 0
+        self._seg_ops_left = program.script[0].ops if program.script else 0
+        self._behavior = program.behavior_of_segment(0)
+        self._entry_index = 0
+        self._iters_left = self._behavior.resolve_iters(0, self._rng)
+        self.ops_emitted = 0
+        self._done = False
+
+    def next_event(self) -> Optional[BlockEvent]:
+        """Return the next event, or ``None`` when the script is finished."""
+        if self._done:
+            return None
+
+        behavior = self._behavior
+        block = behavior.entry_block(self._entry_index)
+        last_iteration = self._iters_left <= 1
+
+        if block.random_taken_prob is not None:
+            taken = self._rng.random() < block.random_taken_prob
+        else:
+            # Loop-style control: backward branch taken until the last
+            # iteration of this entry.
+            taken = not last_iteration
+
+        k = self._exec_counts[block.bid]
+        self._exec_counts[block.bid] = k + 1
+        self.ops_emitted += block.n_ops
+        self._seg_ops_left -= block.n_ops
+
+        # Advance loop position.
+        if last_iteration:
+            self._entry_index += 1
+            if self._entry_index >= behavior.n_entries():
+                self._entry_index = 0
+            self._iters_left = behavior.resolve_iters(self._entry_index, self._rng)
+        else:
+            self._iters_left -= 1
+
+        # Advance the phase script when the segment budget expires.
+        if self._seg_ops_left <= 0:
+            self._seg_index += 1
+            if self._seg_index >= len(self.program.script):
+                self._done = True
+            else:
+                segment = self.program.script[self._seg_index]
+                self._seg_ops_left = segment.ops
+                self._behavior = self.program.behaviors[segment.behavior]
+                self._entry_index = 0
+                self._iters_left = self._behavior.resolve_iters(0, self._rng)
+
+        return BlockEvent(block, taken, k)
+
+    def __iter__(self) -> Iterator[BlockEvent]:
+        return self
+
+    def __next__(self) -> BlockEvent:
+        event = self.next_event()
+        if event is None:
+            raise StopIteration
+        return event
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the phase script has been fully walked."""
+        return self._done
+
+    @property
+    def current_behavior_name(self) -> str:
+        """Name of the behaviour the next event will come from."""
+        return self._behavior.name
+
+    def take_ops(self, n_ops: int) -> List[BlockEvent]:
+        """Consume events totalling at least *n_ops* operations.
+
+        Raises:
+            StreamExhausted: if the stream ends before *n_ops* ops are
+                available.
+        """
+        if n_ops <= 0:
+            return []
+        out: List[BlockEvent] = []
+        got = 0
+        while got < n_ops:
+            event = self.next_event()
+            if event is None:
+                raise StreamExhausted(
+                    f"needed {n_ops} ops, stream ended after {got}"
+                )
+            out.append(event)
+            got += event.block.n_ops
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture the complete stream state for checkpointing."""
+        return {
+            "rng": self._rng.getstate(),
+            "exec_counts": list(self._exec_counts),
+            "seg_index": self._seg_index,
+            "seg_ops_left": self._seg_ops_left,
+            "entry_index": self._entry_index,
+            "iters_left": self._iters_left,
+            "ops_emitted": self.ops_emitted,
+            "done": self._done,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        if len(state["exec_counts"]) != self.program.n_blocks:
+            raise ProgramError("snapshot does not match this program")
+        self._rng.setstate(state["rng"])
+        self._exec_counts = list(state["exec_counts"])
+        self._seg_index = state["seg_index"]
+        self._seg_ops_left = state["seg_ops_left"]
+        self._entry_index = state["entry_index"]
+        self._iters_left = state["iters_left"]
+        self.ops_emitted = state["ops_emitted"]
+        self._done = state["done"]
+        if not self._done:
+            segment = self.program.script[self._seg_index]
+            self._behavior = self.program.behaviors[segment.behavior]
+
+    def clone_fresh(self) -> "ProgramStream":
+        """A new stream positioned at the start of the same program."""
+        return ProgramStream(self.program)

@@ -1,0 +1,120 @@
+"""Random synthetic-program generation for fuzzing and studies.
+
+The ten calibrated workloads model specific benchmarks; this module
+generates *arbitrary* valid programs from a seed — the generator behind
+the property-based tests, exposed publicly so users can fuzz their own
+sampling configurations or produce workload populations for Monte-Carlo
+studies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .behavior import Behavior
+from .block import BlockBuilder
+from .mem_patterns import PatternKind
+from .program import Program, Segment
+
+__all__ = ["SynthesisSpec", "synthesize_program"]
+
+
+@dataclass(frozen=True)
+class SynthesisSpec:
+    """Knobs for random program generation.
+
+    Attributes:
+        total_ops: nominal dynamic length.
+        n_behaviors: distinct behaviours (phases) to generate.
+        blocks_per_behavior: loop bodies per behaviour.
+        min_segment_ops / max_segment_ops: phase-script segment bounds.
+        mem_probability: chance each block gets memory instructions.
+        micro_phase_probability: chance a behaviour alternates two blocks
+            at fine grain (art/mcf-style micro-phases).
+        branchy_probability: chance a block's terminator is data-dependent.
+    """
+
+    total_ops: int = 200_000
+    n_behaviors: int = 3
+    blocks_per_behavior: int = 2
+    min_segment_ops: int = 5_000
+    max_segment_ops: int = 40_000
+    mem_probability: float = 0.7
+    micro_phase_probability: float = 0.3
+    branchy_probability: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.total_ops <= 0 or self.n_behaviors < 1:
+            raise ConfigurationError("total_ops and n_behaviors must be positive")
+        if self.blocks_per_behavior < 1:
+            raise ConfigurationError("blocks_per_behavior must be at least 1")
+        if not 0 < self.min_segment_ops <= self.max_segment_ops:
+            raise ConfigurationError("segment bounds must satisfy 0 < min <= max")
+
+
+_SPANS = (4 * 1024, 64 * 1024, 512 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024)
+
+
+def synthesize_program(
+    seed: int, spec: Optional[SynthesisSpec] = None, name: Optional[str] = None
+) -> Program:
+    """Generate a random, valid, deterministic program from *seed*."""
+    spec = spec or SynthesisSpec()
+    rng = random.Random(seed)
+    builder = BlockBuilder(seed=seed ^ 0xABCDEF)
+
+    blocks = []
+    behaviors = []
+    for b in range(spec.n_behaviors):
+        entries = []
+        for _ in range(spec.blocks_per_behavior):
+            pats = []
+            if rng.random() < spec.mem_probability:
+                for _ in range(rng.randint(1, 2)):
+                    kind = rng.choice(list(PatternKind))
+                    span = rng.choice(_SPANS)
+                    pats.append(
+                        builder.pattern(
+                            kind,
+                            span,
+                            stride=rng.choice((8, 64)),
+                            is_write=rng.random() < 0.2,
+                        )
+                    )
+            taken_prob = (
+                rng.uniform(0.25, 0.75)
+                if rng.random() < spec.branchy_probability
+                else None
+            )
+            block = builder.build(
+                ops=rng.randint(len(pats) + 6, 30),
+                mix=rng.choice(list(BlockBuilder.MIXES)),
+                dep_density=rng.uniform(0.05, 0.55),
+                mem_patterns=pats,
+                random_taken_prob=taken_prob,
+            )
+            blocks.append(block)
+            if rng.random() < spec.micro_phase_probability and entries:
+                # Fine-grained alternation: small iteration counts.
+                entries.append((block, (rng.randint(8, 30), 2)))
+            else:
+                entries.append((block, (rng.randint(20, 120), 5)))
+        behaviors.append(Behavior(f"b{b}", entries))
+
+    script = []
+    acc = 0
+    while acc < spec.total_ops:
+        ops = rng.randint(spec.min_segment_ops, spec.max_segment_ops)
+        script.append(Segment(rng.choice(behaviors).name, ops))
+        acc += ops
+
+    return Program(
+        name or f"synth.{seed}",
+        blocks,
+        behaviors,
+        script,
+        seed=seed,
+    )

@@ -1,0 +1,44 @@
+"""Sampled-simulation techniques.
+
+All five techniques the paper evaluates (Section 5), plus the full-detail
+reference, behind one interface:
+
+* :class:`FullDetail` — whole-program cycle-accurate run (ground truth);
+* :class:`Smarts` — periodic small samples (Wunderlich et al., ISCA'03);
+* :class:`TurboSmarts` — random-order samples to a confidence target
+  (Wenisch et al., ISPASS'06);
+* :class:`SimPoint` — offline BBV clustering, one large representative
+  interval per cluster (Sherwood et al., ASPLOS'02; SimPoint 3.0 tooling);
+* :class:`OnlineSimPoint` — online phase tracking with one large sample
+  per phase and a perfect phase predictor (Pereira et al., CODES+ISSS'05);
+* :class:`Pgss` — the paper's Phase-Guided Small-Sample Simulation.
+
+Each returns a :class:`SamplingResult` carrying the IPC estimate and the
+detailed-op cost, the two axes of the paper's Figure 12.
+"""
+
+from .base import SamplingResult, SamplingTechnique
+from .full import FullDetail, ReferenceTrace, collect_reference_trace
+from .smarts import Smarts, SmartsConfig
+from .turbosmarts import TurboSmarts, TurboSmartsConfig
+from .simpoint import SimPoint, SimPointConfig
+from .online_simpoint import OnlineSimPoint, OnlineSimPointConfig
+from .pgss import Pgss, PgssConfig
+
+__all__ = [
+    "SamplingResult",
+    "SamplingTechnique",
+    "FullDetail",
+    "ReferenceTrace",
+    "collect_reference_trace",
+    "Smarts",
+    "SmartsConfig",
+    "TurboSmarts",
+    "TurboSmartsConfig",
+    "SimPoint",
+    "SimPointConfig",
+    "OnlineSimPoint",
+    "OnlineSimPointConfig",
+    "Pgss",
+    "PgssConfig",
+]

@@ -1,0 +1,205 @@
+"""Full-detail simulation and the instrumented reference trace.
+
+:class:`FullDetail` runs the entire program cycle-accurately — the ground
+truth every sampling technique's error is measured against.
+
+:func:`collect_reference_trace` additionally records, per fixed-length
+window, the operations, cycles, and raw BBV register contents.  One such
+pass per benchmark powers all the offline analyses (Figs. 2, 3, 7-10),
+SimPoint's profiling stage, and the true IPC — exactly the data the paper's
+authors extracted from their own full simulations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from ..bbv import BbvTracker, ReducedBbvHash
+from ..config import DEFAULT_MACHINE, MachineConfig
+from ..cpu import Mode, SimulationEngine
+from ..errors import SamplingError
+from ..program import Program
+from .base import SamplingResult, SamplingTechnique
+
+__all__ = ["FullDetail", "ReferenceTrace", "collect_reference_trace"]
+
+
+class ReferenceTrace:
+    """Windowed record of one full-detail run.
+
+    Attributes:
+        program: workload name.
+        window_ops_target: nominal window length in ops (actual windows
+            end on basic-block boundaries and may overshoot slightly).
+        ops: ``(n,)`` actual ops per window.
+        cycles: ``(n,)`` cycles per window.
+        bbvs: ``(n, dim)`` raw (unnormalised) BBV per window.
+    """
+
+    def __init__(
+        self,
+        program: str,
+        window_ops_target: int,
+        ops: np.ndarray,
+        cycles: np.ndarray,
+        bbvs: np.ndarray,
+    ) -> None:
+        if not (len(ops) == len(cycles) == len(bbvs)):
+            raise SamplingError("trace arrays must have equal lengths")
+        self.program = program
+        self.window_ops_target = int(window_ops_target)
+        self.ops = np.asarray(ops, dtype=np.int64)
+        self.cycles = np.asarray(cycles, dtype=np.int64)
+        self.bbvs = np.asarray(bbvs, dtype=np.float64)
+
+    @property
+    def n_windows(self) -> int:
+        """Number of recorded windows."""
+        return int(self.ops.shape[0])
+
+    @property
+    def total_ops(self) -> int:
+        """Total operations executed."""
+        return int(self.ops.sum())
+
+    @property
+    def total_cycles(self) -> int:
+        """Total cycles elapsed."""
+        return int(self.cycles.sum())
+
+    @property
+    def true_ipc(self) -> float:
+        """Whole-program IPC — the ground truth for error metrics."""
+        return self.total_ops / self.total_cycles
+
+    @property
+    def ipcs(self) -> np.ndarray:
+        """Per-window IPC series."""
+        return self.ops / np.maximum(self.cycles, 1)
+
+    def normalized_bbvs(self) -> np.ndarray:
+        """Per-window BBVs scaled to unit L2 norm (zero rows stay zero)."""
+        norms = np.sqrt((self.bbvs**2).sum(axis=1, keepdims=True))
+        norms[norms == 0.0] = 1.0
+        return self.bbvs / norms
+
+    def aggregate(self, factor: int) -> "ReferenceTrace":
+        """Merge every *factor* consecutive windows into one.
+
+        Raw BBVs add, ops and cycles add; a final partial group is kept.
+        This is how one fine-grained pass serves every coarser sampling
+        period.
+        """
+        if factor < 1:
+            raise SamplingError("factor must be at least 1")
+        if factor == 1:
+            return self
+        n = self.n_windows
+        groups = (n + factor - 1) // factor
+        ops = np.zeros(groups, dtype=np.int64)
+        cycles = np.zeros(groups, dtype=np.int64)
+        bbvs = np.zeros((groups, self.bbvs.shape[1]), dtype=np.float64)
+        for g in range(groups):
+            lo, hi = g * factor, min((g + 1) * factor, n)
+            ops[g] = self.ops[lo:hi].sum()
+            cycles[g] = self.cycles[lo:hi].sum()
+            bbvs[g] = self.bbvs[lo:hi].sum(axis=0)
+        return ReferenceTrace(
+            self.program, self.window_ops_target * factor, ops, cycles, bbvs
+        )
+
+    def to_period(self, period_ops: int) -> "ReferenceTrace":
+        """Aggregate to a coarser sampling period given in ops.
+
+        *period_ops* must be a multiple of the trace's window length.
+        """
+        if period_ops % self.window_ops_target:
+            raise SamplingError(
+                f"period {period_ops} is not a multiple of the "
+                f"{self.window_ops_target}-op trace window"
+            )
+        return self.aggregate(period_ops // self.window_ops_target)
+
+    def save(self, path: Path) -> None:
+        """Serialise to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            program=np.array(self.program),
+            window=np.array(self.window_ops_target),
+            ops=self.ops,
+            cycles=self.cycles,
+            bbvs=self.bbvs,
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "ReferenceTrace":
+        """Load a trace previously written by :meth:`save`."""
+        data = np.load(path, allow_pickle=False)
+        return cls(
+            program=str(data["program"]),
+            window_ops_target=int(data["window"]),
+            ops=data["ops"],
+            cycles=data["cycles"],
+            bbvs=data["bbvs"],
+        )
+
+
+def collect_reference_trace(
+    program: Program,
+    window_ops: int,
+    machine: MachineConfig = DEFAULT_MACHINE,
+    hash_seed: int = 12345,
+) -> ReferenceTrace:
+    """Run *program* fully in detail, recording per-window (ops, cycles, BBV).
+
+    Args:
+        program: the workload.
+        window_ops: nominal window length in operations.
+        machine: machine configuration.
+        hash_seed: seed of the 5-bit BBV hash (must match the hash used by
+            online techniques for trace-derived analyses to be comparable).
+    """
+    if window_ops <= 0:
+        raise SamplingError("window_ops must be positive")
+    tracker = BbvTracker(ReducedBbvHash(seed=hash_seed))
+    engine = SimulationEngine(program, machine=machine, bbv_tracker=tracker)
+    ops_list = []
+    cycles_list = []
+    bbv_list = []
+    while not engine.exhausted:
+        run = engine.run(Mode.DETAIL, window_ops)
+        if run.ops == 0:
+            break
+        ops_list.append(run.ops)
+        cycles_list.append(run.cycles)
+        bbv_list.append(tracker.take_vector(normalize=False))
+    return ReferenceTrace(
+        program=program.name,
+        window_ops_target=window_ops,
+        ops=np.array(ops_list, dtype=np.int64),
+        cycles=np.array(cycles_list, dtype=np.int64),
+        bbvs=np.array(bbv_list, dtype=np.float64),
+    )
+
+
+class FullDetail(SamplingTechnique):
+    """Whole-program detailed simulation (the no-sampling baseline)."""
+
+    name = "FullDetail"
+
+    def run(self, program: Program, **kwargs: Any) -> SamplingResult:
+        """Simulate every operation cycle-accurately; exact IPC, max cost."""
+        engine = SimulationEngine(program, machine=self.machine)
+        result = engine.run_to_end(Mode.DETAIL)
+        return SamplingResult(
+            technique=self.name,
+            program=program.name,
+            ipc_estimate=result.ipc,
+            detailed_ops=result.ops,
+            total_ops=result.ops,
+            n_samples=0,
+            accounting=engine.accounting,
+        )

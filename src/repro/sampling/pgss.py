@@ -1,0 +1,344 @@
+"""PGSS-Sim: Phase-Guided Small-Sample Simulation (the paper's technique).
+
+The Figure 5 flow, implemented literally:
+
+1. start with one detailed warm-up + detailed sample (SMARTS-style);
+2. fast-forward one BBV sampling period with functional warming while the
+   Figure 4 hardware accumulates the reduced BBV;
+3. classify the period's vector (same phase as last period / some known
+   phase / brand new phase);
+4. if the current phase's sample population is *not* inside confidence
+   bounds and the last sample in this phase is at least the spread
+   distance behind, take another warm-up + sample and credit it to the
+   phase;
+5. repeat until the program completes.
+
+The estimate is the ops-weighted sum of per-phase mean sample IPCs —
+"PGSS-Sim automatically takes more samples in phases which occur a great
+deal or have a high amount of variance in performance and fewer samples in
+phases which are rarer or more stable."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..bbv import BbvTracker, ReducedBbvHash, WideBbvHash
+from ..config import DEFAULT_MACHINE, MachineConfig, ScaleConfig
+from ..cpu import Mode, SimulationEngine
+from ..errors import ConfigurationError, SamplingError
+from ..phase import OnlinePhaseClassifier
+from ..program import Program
+from ..stats.estimators import stratified_ratio_ipc
+from .base import SamplingResult, SamplingTechnique
+
+__all__ = ["PgssConfig", "Pgss", "PgssController"]
+
+
+@dataclass(frozen=True)
+class PgssConfig:
+    """PGSS-Sim parameters.
+
+    Attributes:
+        bbv_period_ops: fast-forward / BBV sampling period (the paper
+            sweeps 100k/1M/10M; its best overall is 1M).
+        threshold_pi: BBV angle threshold as a fraction of pi (paper best:
+            0.05).
+        detail_ops: measured sample length (paper: 1000).
+        warmup_ops: detailed warming before each sample (paper: ~3000).
+        spread_ops: minimum ops between samples within one phase (the
+            Fig. 5 "1M ops since last sample in phase?" diamond).
+        rel_error: per-phase CI half-width target.
+        confidence: per-phase CI confidence level.
+        min_samples: samples a phase needs before its CI is trusted.
+        metric: phase-distance metric (``"angle"`` or ``"manhattan"``).
+        wide_bbv_buckets: when set, use a wide modulo hash of this many
+            buckets instead of the paper's 5-bit reduced hash (ablation).
+        use_spread_rule: disable to always sample when out of bounds
+            (ablation of the temporal-spreading heuristic).
+        fixed_samples_per_phase: when set, ignore confidence bounds and
+            take exactly this many samples per phase (ablation).
+        hash_seed: seed of the 5-bit hash bit choice.
+    """
+
+    bbv_period_ops: int
+    threshold_pi: float
+    detail_ops: int = 1_000
+    warmup_ops: int = 3_000
+    spread_ops: int = 1_000_000
+    rel_error: float = 0.03
+    confidence: float = 0.997
+    min_samples: int = 3
+    metric: str = "angle"
+    wide_bbv_buckets: Optional[int] = None
+    use_spread_rule: bool = True
+    fixed_samples_per_phase: Optional[int] = None
+    hash_seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.bbv_period_ops <= self.detail_ops + self.warmup_ops:
+            raise ConfigurationError(
+                "bbv_period_ops must exceed warmup_ops + detail_ops"
+            )
+        if not 0.0 < self.threshold_pi <= 1.0:
+            raise ConfigurationError("threshold_pi must be in (0, 1]")
+        if self.spread_ops < 0:
+            raise ConfigurationError("spread_ops must be non-negative")
+        if self.min_samples < 1:
+            raise ConfigurationError("min_samples must be at least 1")
+        if self.fixed_samples_per_phase is not None and self.fixed_samples_per_phase < 1:
+            raise ConfigurationError("fixed_samples_per_phase must be >= 1")
+
+    @classmethod
+    def from_scale(
+        cls,
+        scale: ScaleConfig,
+        bbv_period_ops: Optional[int] = None,
+        threshold_pi: float = 0.05,
+        **overrides: Any,
+    ) -> "PgssConfig":
+        """The scale's canonical PGSS configuration (paper best: 1M/.05)."""
+        params = dict(
+            detail_ops=scale.smarts_detail,
+            warmup_ops=scale.smarts_warmup,
+            spread_ops=scale.pgss_spread,
+            rel_error=scale.turbo_rel_error,
+            confidence=scale.turbo_confidence,
+        )
+        params.update(overrides)
+        return cls(
+            bbv_period_ops=bbv_period_ops or scale.pgss_best_period,
+            threshold_pi=threshold_pi,
+            **params,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short config label, e.g. ``"80k/.05"``."""
+        p = self.bbv_period_ops
+        if p % 1_000_000 == 0:
+            size = f"{p // 1_000_000}M"
+        elif p % 1_000 == 0:
+            size = f"{p // 1_000}k"
+        else:
+            size = str(p)
+        return f"{size}/.{int(round(self.threshold_pi * 100)):02d}"
+
+
+class Pgss(SamplingTechnique):
+    """Phase-Guided Small-Sample Simulation."""
+
+    name = "PGSS"
+
+    def __init__(
+        self, config: PgssConfig, machine: MachineConfig = DEFAULT_MACHINE
+    ) -> None:
+        super().__init__(machine)
+        self.config = config
+
+    def _make_tracker(self) -> BbvTracker:
+        cfg = self.config
+        if cfg.wide_bbv_buckets is not None:
+            return BbvTracker(WideBbvHash(cfg.wide_bbv_buckets))
+        return BbvTracker(ReducedBbvHash(seed=cfg.hash_seed))
+
+    def _phase_needs_sample(self, phase, op_offset: int) -> bool:
+        """The two Fig. 5 decision diamonds after classification."""
+        cfg = self.config
+        if cfg.fixed_samples_per_phase is not None:
+            if phase.n_samples >= cfg.fixed_samples_per_phase:
+                return False
+        elif phase.within_bounds(cfg.rel_error, cfg.confidence, cfg.min_samples):
+            return False
+        if (
+            cfg.use_spread_rule
+            and phase.last_sample_op is not None
+            and op_offset - phase.last_sample_op < cfg.spread_ops
+        ):
+            return False
+        return True
+
+    def make_controller(self, engine: SimulationEngine) -> "PgssController":
+        """Bind a stepping controller to an engine built for this config.
+
+        The engine must carry a tracker from :meth:`_make_tracker` (the
+        controller reads the BBV register file at each period boundary).
+        """
+        return PgssController(engine, self.config)
+
+    def run(self, program: Program, **kwargs: Any) -> SamplingResult:
+        """Execute the Fig. 5 loop over *program*."""
+        engine = SimulationEngine(
+            program, machine=self.machine, bbv_tracker=self._make_tracker()
+        )
+        controller = PgssController(engine, self.config)
+        while controller.step():
+            pass
+        return controller.result()
+
+
+class PgssController:
+    """Incremental executor of the Fig. 5 loop.
+
+    One :meth:`step` call performs one loop iteration: fast-forward a BBV
+    period (with the first call additionally taking the Fig. 5 START
+    sample), classify the period, and take a detailed sample if the
+    current phase needs one.  The stepping interface is what lets the
+    multicore extension (paper Section 7) interleave several cores'
+    PGSS loops over a shared memory hierarchy.
+    """
+
+    def __init__(self, engine: SimulationEngine, config: PgssConfig) -> None:
+        if engine.bbv_tracker is None:
+            raise ConfigurationError("PGSS requires an engine with a BBV tracker")
+        self.engine = engine
+        self.config = config
+        self.classifier = OnlinePhaseClassifier(
+            config.threshold_pi * math.pi, metric=config.metric
+        )
+        self.n_samples = 0
+        #: Program op offsets at which detailed samples were taken.
+        self.sample_offsets: list = []
+        self._pending: Optional[tuple] = None  # (ipc, ops, cycles, offset)
+        #: Ops executed since the last classification (attributed to the
+        #: phase chosen at the next period boundary).
+        self._ops_unattributed = 0
+        self._started = False
+        self._finished = False
+        self._ff_ops = config.bbv_period_ops - config.warmup_ops - config.detail_ops
+
+    def _phase_needs_sample(self, phase, op_offset: int) -> bool:
+        """The two Fig. 5 decision diamonds after classification."""
+        cfg = self.config
+        if cfg.fixed_samples_per_phase is not None:
+            if phase.n_samples >= cfg.fixed_samples_per_phase:
+                return False
+        elif phase.within_bounds(cfg.rel_error, cfg.confidence, cfg.min_samples):
+            return False
+        if (
+            cfg.use_spread_rule
+            and phase.last_sample_op is not None
+            and op_offset - phase.last_sample_op < cfg.spread_ops
+        ):
+            return False
+        return True
+
+    def _take_sample(self) -> Optional[tuple]:
+        """Detailed warm-up + sample; returns (ipc, ops, cycles)."""
+        cfg = self.config
+        engine = self.engine
+        if cfg.warmup_ops:
+            warm = engine.run(Mode.DETAIL_WARM, cfg.warmup_ops)
+            self._ops_unattributed += warm.ops
+            if engine.exhausted:
+                return None
+        run = engine.run(Mode.DETAIL, cfg.detail_ops)
+        self._ops_unattributed += run.ops
+        if run.ops and run.cycles:
+            self.n_samples += 1
+            self.sample_offsets.append(engine.ops_completed - run.ops)
+            return (run.ipc, run.ops, run.cycles)
+        return None
+
+    def step(self) -> bool:
+        """Run one Fig. 5 iteration; returns False once the program ends."""
+        if self._finished:
+            return False
+        engine = self.engine
+        classifier = self.classifier
+
+        if not self._started:
+            # Fig. 5 START: warm-up + first sample before any phase
+            # information exists; credited to the first period's phase.
+            self._started = True
+            first = self._take_sample()
+            if first is not None:
+                self._pending = (*first, engine.ops_completed)
+
+        if engine.exhausted:
+            self._wrap_up()
+            return False
+
+        run = engine.run(Mode.FUNC_WARM, self._ff_ops)
+        self._ops_unattributed += run.ops
+        vector = engine.bbv_tracker.take_vector(normalize=True)
+        classifier.observe(vector, self._ops_unattributed)
+        self._ops_unattributed = 0
+        phase = classifier.current_phase
+        if self._pending is not None:
+            ipc, s_ops, s_cycles, offset = self._pending
+            phase.add_sample(ipc, offset, ops=s_ops, cycles=s_cycles)
+            self._pending = None
+        if engine.exhausted:
+            self._wrap_up()
+            return False
+        if self._phase_needs_sample(phase, engine.ops_completed):
+            sample = self._take_sample()
+            if sample is not None:
+                ipc, s_ops, s_cycles = sample
+                phase.add_sample(
+                    ipc, engine.ops_completed, ops=s_ops, cycles=s_cycles
+                )
+            # Ops of the sample region belong to the current phase.
+            phase.add_ops(self._ops_unattributed)
+            self._ops_unattributed = 0
+        if engine.exhausted:
+            self._wrap_up()
+            return False
+        return True
+
+    def _wrap_up(self) -> None:
+        classifier = self.classifier
+        if classifier.current_phase is not None and self._ops_unattributed:
+            classifier.current_phase.add_ops(self._ops_unattributed)
+            self._ops_unattributed = 0
+        if self._pending is not None and classifier.current_phase is not None:
+            ipc, s_ops, s_cycles, offset = self._pending
+            classifier.current_phase.add_sample(
+                ipc, offset, ops=s_ops, cycles=s_cycles
+            )
+            self._pending = None
+        self._finished = True
+
+    def result(self) -> SamplingResult:
+        """Assemble the final estimate (call after stepping completes).
+
+        Raises:
+            SamplingError: when the program ended before one full BBV
+                period, so no phase was ever observed.
+        """
+        if not self._finished:
+            self._wrap_up()
+        classifier = self.classifier
+        engine = self.engine
+        if classifier.n_phases == 0:
+            raise SamplingError(
+                f"{engine.program.name} ended before the first BBV period; "
+                f"shrink bbv_period_ops (currently "
+                f"{self.config.bbv_period_ops})"
+            )
+        ops_per_phase = classifier.ops_per_phase()
+        samples_per_phase = {
+            p.phase_id: p.sample_ops_cycles for p in classifier.phases
+        }
+        estimate = stratified_ratio_ipc(ops_per_phase, samples_per_phase)
+        return SamplingResult(
+            technique=Pgss.name,
+            program=engine.program.name,
+            ipc_estimate=estimate.ipc,
+            detailed_ops=engine.accounting.detailed_ops,
+            total_ops=engine.accounting.total_ops,
+            n_samples=self.n_samples,
+            accounting=engine.accounting,
+            extras={
+                "config": self.config.label,
+                "n_phases": classifier.n_phases,
+                "n_phase_changes": classifier.n_changes,
+                "samples_per_phase": {
+                    p.phase_id: p.n_samples for p in classifier.phases
+                },
+                "uncovered_weight": estimate.uncovered_weight,
+            },
+        )

@@ -1,0 +1,239 @@
+"""SimPoint: offline BBV clustering with one large sample per phase.
+
+The SimPoint system (Sherwood et al., ASPLOS'02; SimPoint 3.0) gathers one
+BBV per fixed interval over the whole execution, clusters them with
+k-means, detail-simulates the interval closest to each cluster centroid,
+and estimates performance as the cluster-weighted sum.
+
+Following the paper's own methodology ("The SimPoints methodology was
+tested by performing an off-line clustering of the reduced BBV data from
+PGSS simulation"), clustering operates on the reduced 32-entry BBVs.  The
+profiling pass can reuse a pre-collected :class:`ReferenceTrace` (the
+default, since the trace also provides each interval's detailed IPC), or
+run the two passes live on a fresh engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..bbv import BbvTracker, ReducedBbvHash
+from ..clustering import choose_k, kmeans
+from ..config import DEFAULT_MACHINE, MachineConfig
+from ..cpu import Mode, SimulationEngine
+from ..errors import ConfigurationError, SamplingError
+from ..program import Program
+from ..stats.estimators import stratified_ratio_ipc
+from .base import SamplingResult, SamplingTechnique
+from .full import ReferenceTrace
+
+__all__ = ["SimPointConfig", "SimPoint"]
+
+
+@dataclass(frozen=True)
+class SimPointConfig:
+    """SimPoint parameters.
+
+    Attributes:
+        interval_ops: BBV interval length (paper sweeps 1M/10M/100M).
+        n_clusters: k for k-means (paper sweeps 5/10/20 plus extras), or
+            ``None`` to pick k by BIC up to ``max_k`` — the SimPoint 3.0
+            default behaviour.
+        max_k: BIC search ceiling when ``n_clusters`` is ``None``.
+        n_restarts: k-means restarts.
+        seed: clustering RNG seed.
+        hash_seed: seed of the reduced-BBV hash (must match the trace's).
+    """
+
+    interval_ops: int
+    n_clusters: Optional[int] = None
+    max_k: int = 20
+    n_restarts: int = 5
+    seed: int = 0
+    hash_seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.interval_ops <= 0:
+            raise ConfigurationError("interval_ops must be positive")
+        if self.n_clusters is not None and self.n_clusters < 1:
+            raise ConfigurationError("n_clusters must be at least 1")
+        if self.max_k < 1:
+            raise ConfigurationError("max_k must be at least 1")
+
+    @property
+    def label(self) -> str:
+        """Short config label, e.g. ``"10x80k"`` (``"bicNx80k"`` for BIC)."""
+        k = self.n_clusters if self.n_clusters is not None else f"bic{self.max_k}"
+        return f"{k}x{_fmt_ops(self.interval_ops)}"
+
+
+def _fmt_ops(n: int) -> str:
+    if n % 1_000_000 == 0:
+        return f"{n // 1_000_000}M"
+    if n % 1_000 == 0:
+        return f"{n // 1_000}k"
+    return str(n)
+
+
+class SimPoint(SamplingTechnique):
+    """Offline clustering of interval BBVs; one representative per cluster."""
+
+    name = "SimPoint"
+
+    def __init__(
+        self, config: SimPointConfig, machine: MachineConfig = DEFAULT_MACHINE
+    ) -> None:
+        super().__init__(machine)
+        self.config = config
+
+    def profile_intervals(self, program: Program) -> ReferenceTrace:
+        """Live profiling pass: per-interval raw BBVs via fast-forwarding.
+
+        Cycle columns are zero — profiling is purely functional, exactly as
+        in the real tool; use :meth:`run` with a reference trace when
+        interval IPCs are needed without a live detail pass.
+        """
+        cfg = self.config
+        tracker = BbvTracker(ReducedBbvHash(seed=cfg.hash_seed))
+        engine = SimulationEngine(program, machine=self.machine, bbv_tracker=tracker)
+        ops_list: List[int] = []
+        bbv_list: List[np.ndarray] = []
+        while not engine.exhausted:
+            run = engine.run(Mode.FUNC_FAST, cfg.interval_ops)
+            if run.ops == 0:
+                break
+            ops_list.append(run.ops)
+            bbv_list.append(tracker.take_vector(normalize=False))
+        return ReferenceTrace(
+            program=program.name,
+            window_ops_target=cfg.interval_ops,
+            ops=np.array(ops_list, dtype=np.int64),
+            cycles=np.zeros(len(ops_list), dtype=np.int64),
+            bbvs=np.array(bbv_list, dtype=np.float64),
+        )
+
+    def _measure_representatives(
+        self, program: Program, rep_indices: List[int]
+    ) -> Dict[int, tuple]:
+        """Live second pass: detail-simulate the chosen intervals.
+
+        Fast-forwards (with functional warming) between representatives and
+        runs each chosen interval cycle-accurately.  Returns interval index
+        -> measured ``(ops, cycles)``.  The engine accounting is stored on
+        ``self._last_accounting``.
+        """
+        cfg = self.config
+        engine = SimulationEngine(program, machine=self.machine)
+        wanted = sorted(set(rep_indices))
+        counts: Dict[int, tuple] = {}
+        interval = 0
+        for target in wanted:
+            while interval < target and not engine.exhausted:
+                engine.run(Mode.FUNC_WARM, cfg.interval_ops)
+                interval += 1
+            if engine.exhausted:
+                break
+            run = engine.run(Mode.DETAIL, cfg.interval_ops)
+            interval += 1
+            if run.ops and run.cycles:
+                counts[target] = (run.ops, run.cycles)
+        self._last_accounting = engine.accounting
+        return counts
+
+    def run(
+        self,
+        program: Program,
+        trace: Optional[ReferenceTrace] = None,
+        **kwargs: Any,
+    ) -> SamplingResult:
+        """Cluster interval BBVs and estimate IPC from representatives.
+
+        Args:
+            program: the workload.
+            trace: optional pre-collected reference trace; when given, both
+                the interval BBVs and the representatives' IPCs come from
+                it (its full-detail pass subsumes SimPoint's detail phase).
+                When omitted, both passes run live.
+        """
+        cfg = self.config
+        if trace is not None:
+            intervals = trace.to_period(cfg.interval_ops)
+            have_ipc = True
+        else:
+            intervals = self.profile_intervals(program)
+            have_ipc = False
+        n = intervals.n_windows
+        points = intervals.normalized_bbvs()
+        if cfg.n_clusters is not None:
+            n_clusters = cfg.n_clusters
+            if n < n_clusters:
+                raise SamplingError(
+                    f"{n} intervals cannot support {n_clusters} clusters"
+                )
+        else:
+            # SimPoint 3.0 behaviour: BIC-select k up to max_k.
+            n_clusters, _scores = choose_k(
+                points,
+                max_k=min(cfg.max_k, n - 1) if n > 1 else 1,
+                n_restarts=cfg.n_restarts,
+                seed=cfg.seed,
+            )
+        clustering = kmeans(
+            points, n_clusters, n_restarts=cfg.n_restarts, seed=cfg.seed
+        )
+        reps = clustering.representative_indices()
+        sizes = clustering.cluster_sizes()
+
+        if have_ipc:
+            rep_counts = {
+                int(reps[c]): (
+                    int(intervals.ops[reps[c]]),
+                    int(intervals.cycles[reps[c]]),
+                )
+                for c in range(n_clusters)
+                if reps[c] >= 0
+            }
+            accounting = None
+        else:
+            rep_counts = self._measure_representatives(
+                program, [int(r) for r in reps if r >= 0]
+            )
+            accounting = self._last_accounting
+
+        # SimPoint combines per-cluster CPI weighted by cluster size; with
+        # equal-length intervals this is the exact ratio estimator.
+        ops_per_cluster = {}
+        samples_per_cluster = {}
+        for c in range(n_clusters):
+            if reps[c] < 0 or sizes[c] == 0:
+                continue
+            ops_per_cluster[c] = int(intervals.ops[clustering.labels == c].sum())
+            rep_index = int(reps[c])
+            if rep_index in rep_counts:
+                samples_per_cluster[c] = [rep_counts[rep_index]]
+        estimate = stratified_ratio_ipc(ops_per_cluster, samples_per_cluster)
+
+        n_points = len(samples_per_cluster)
+        detailed_ops = n_points * cfg.interval_ops
+        result = SamplingResult(
+            technique=self.name,
+            program=program.name,
+            ipc_estimate=estimate.ipc,
+            detailed_ops=detailed_ops,
+            total_ops=intervals.total_ops + detailed_ops,
+            n_samples=n_points,
+            extras={
+                "config": cfg.label,
+                "n_intervals": n,
+                "n_clusters": n_clusters,
+                "cluster_sizes": sizes.tolist(),
+                "weights": {int(k): v for k, v in estimate.weights.items()},
+                "inertia": clustering.inertia,
+            },
+        )
+        if accounting is not None:
+            result.accounting = accounting
+        return result

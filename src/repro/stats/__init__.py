@@ -1,0 +1,66 @@
+"""Statistics for sampled simulation.
+
+Provides the estimators and confidence machinery the sampling techniques
+depend on: sample summaries, normal/Student-t confidence intervals (SMARTS
+and TurboSMARTS, paper Section 2.2), stratified per-phase estimation
+(PGSS-Sim, Section 3), error metrics for the evaluation figures, and the
+distribution diagnostics behind Figure 3's polymodality argument.
+"""
+
+from .ci import (
+    ConfidenceInterval,
+    normal_ci,
+    student_t_ci,
+    z_value,
+    t_value,
+    required_samples,
+)
+from .estimators import (
+    SampleSummary,
+    StratifiedEstimate,
+    summarize,
+    stratified_ipc,
+    stratified_ratio_ipc,
+)
+from .errors_metrics import (
+    percent_error,
+    arithmetic_mean,
+    geometric_mean,
+    error_table,
+)
+from .distributions import (
+    histogram,
+    bimodality_coefficient,
+    modality_peaks,
+)
+from .sampling_theory import (
+    population_variance,
+    within_stratum_variance,
+    stratification_gain,
+    required_samples_comparison,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "normal_ci",
+    "student_t_ci",
+    "z_value",
+    "t_value",
+    "required_samples",
+    "SampleSummary",
+    "StratifiedEstimate",
+    "summarize",
+    "stratified_ipc",
+    "stratified_ratio_ipc",
+    "percent_error",
+    "arithmetic_mean",
+    "geometric_mean",
+    "error_table",
+    "histogram",
+    "bimodality_coefficient",
+    "modality_peaks",
+    "population_variance",
+    "within_stratum_variance",
+    "stratification_gain",
+    "required_samples_comparison",
+]

@@ -1,0 +1,112 @@
+"""Sampling-theory analysis: why stratifying by phase wins.
+
+The paper's Section 2.2 argues that because phased programs have polymodal
+sample populations, SMARTS' one-population analysis "overestimates"
+variation, while "if phase behavior is considered, only a very small
+number of samples are needed from each phase to characterize that phase";
+its reference [17] (Wunderlich et al., stratified-sampling evaluation)
+measured a 40x+ reduction in required samples.
+
+These helpers quantify that on any labelled sample population:
+
+* :func:`population_variance` — the variance SMARTS' bound sees;
+* :func:`within_stratum_variance` — the pooled variance a stratified
+  estimator sees;
+* :func:`stratification_gain` — the ratio of samples needed without vs
+  with stratification at equal confidence (variance ratio under
+  proportional allocation — Neyman allocation would do even better).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import SamplingError
+from .ci import required_samples
+
+__all__ = [
+    "population_variance",
+    "within_stratum_variance",
+    "stratification_gain",
+    "required_samples_comparison",
+]
+
+
+def _check(values: Sequence[float], labels: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise SamplingError("empty sample population")
+    if len(labels) != arr.size:
+        raise SamplingError("labels must match values in length")
+    return arr
+
+
+def population_variance(values: Sequence[float]) -> float:
+    """Plain population variance (the unstratified analysis' input)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise SamplingError("empty sample population")
+    return float(arr.var(ddof=0))
+
+
+def within_stratum_variance(
+    values: Sequence[float], labels: Sequence[int]
+) -> float:
+    """Pooled within-stratum variance under proportional allocation.
+
+    ``sum_h (n_h / n) * var_h`` — the variance a stratified estimator's
+    sampling error is driven by.  Strata with one member contribute zero.
+    """
+    arr = _check(values, labels)
+    label_arr = np.asarray(labels)
+    total = 0.0
+    for stratum in np.unique(label_arr):
+        members = arr[label_arr == stratum]
+        total += (members.size / arr.size) * float(members.var(ddof=0))
+    return total
+
+
+def stratification_gain(
+    values: Sequence[float], labels: Sequence[int]
+) -> float:
+    """How many times fewer samples stratification needs.
+
+    The required sample count scales with variance at fixed confidence and
+    error, so the gain is ``population_variance / within_stratum_variance``.
+    Returns ``inf`` when the strata are internally constant.
+    """
+    pop = population_variance(values)
+    within = within_stratum_variance(values, labels)
+    if within == 0.0:
+        return float("inf")
+    return pop / within
+
+
+def required_samples_comparison(
+    values: Sequence[float],
+    labels: Sequence[int],
+    confidence: float = 0.997,
+    rel_error: float = 0.03,
+) -> Dict[str, float]:
+    """Samples needed with and without phase stratification.
+
+    Returns a dict with ``unstratified`` and ``stratified`` sample counts
+    (both for the same confidence and relative error on the mean) and the
+    ``gain`` ratio — the quantity [17] reports as "over forty times" for
+    SMARTS with phase knowledge.
+    """
+    arr = _check(values, labels)
+    mean = float(arr.mean())
+    if mean == 0.0:
+        raise SamplingError("zero-mean population has no relative error")
+    cv_pop = population_variance(values) ** 0.5 / abs(mean)
+    cv_strat = within_stratum_variance(values, labels) ** 0.5 / abs(mean)
+    unstratified = required_samples(cv_pop, confidence, rel_error)
+    stratified = required_samples(cv_strat, confidence, rel_error)
+    return {
+        "unstratified": float(unstratified),
+        "stratified": float(stratified),
+        "gain": unstratified / max(stratified, 1),
+    }

@@ -1,0 +1,85 @@
+"""Degenerate-input behaviour: tiny programs, empty streams, clear errors."""
+
+import pytest
+
+from repro import Behavior, BlockBuilder, Program, Scale, Segment
+from repro.errors import SamplingError
+from repro.sampling import (
+    FullDetail,
+    Pgss,
+    PgssConfig,
+    Smarts,
+    SmartsConfig,
+    TurboSmarts,
+    TurboSmartsConfig,
+)
+
+
+def tiny_program(ops: int = 2_000) -> Program:
+    builder = BlockBuilder(seed=11)
+    block = builder.build(10, mix="int_light", dep_density=0.1)
+    behavior = Behavior("only", [(block, 5)])
+    return Program("tiny", [block], [behavior], [Segment("only", ops)], seed=1)
+
+
+class TestTinyPrograms:
+    def test_full_detail_works_on_tiny(self):
+        result = FullDetail().run(tiny_program())
+        assert result.ipc_estimate > 0
+
+    def test_smarts_raises_clearly_when_no_samples_fit(self):
+        cfg = SmartsConfig(period_ops=50_000, detail_ops=500, warmup_ops=500)
+        with pytest.raises(SamplingError, match="shrink"):
+            Smarts(cfg).run(tiny_program())
+
+    def test_smarts_works_when_period_fits(self):
+        cfg = SmartsConfig(period_ops=1_500, detail_ops=200, warmup_ops=200)
+        result = Smarts(cfg).run(tiny_program(20_000))
+        assert result.n_samples > 3
+
+    def test_turbo_propagates_smarts_error(self):
+        cfg = TurboSmartsConfig(
+            smarts=SmartsConfig(period_ops=50_000, detail_ops=500, warmup_ops=500)
+        )
+        with pytest.raises(SamplingError):
+            TurboSmarts(cfg).run(tiny_program())
+
+    def test_pgss_raises_clearly_when_no_period_fits(self):
+        cfg = PgssConfig(bbv_period_ops=100_000, threshold_pi=0.05)
+        with pytest.raises(SamplingError, match="BBV period"):
+            Pgss(cfg).run(tiny_program())
+
+    def test_pgss_works_on_single_phase_tiny(self):
+        cfg = PgssConfig(
+            bbv_period_ops=2_000,
+            threshold_pi=0.05,
+            detail_ops=200,
+            warmup_ops=200,
+            spread_ops=2_000,
+        )
+        result = Pgss(cfg).run(tiny_program(20_000))
+        assert result.extras["n_phases"] >= 1
+        assert result.ipc_estimate > 0
+
+    def test_single_block_program_has_one_phase(self):
+        cfg = PgssConfig(
+            bbv_period_ops=2_000,
+            threshold_pi=0.05,
+            detail_ops=200,
+            warmup_ops=200,
+            spread_ops=2_000,
+        )
+        result = Pgss(cfg).run(tiny_program(30_000))
+        assert result.extras["n_phases"] == 1
+
+    def test_quick_scale_workloads_survive_all_techniques(self):
+        """Every canonical workload runs every technique without error at
+        the QUICK scale (integration smoke over the full matrix)."""
+        from repro import get_workload
+
+        for name in ("177.mesa", "256.bzip2"):
+            program = get_workload(name, Scale.QUICK)
+            Smarts(SmartsConfig.from_scale(Scale.QUICK)).run(program)
+            Pgss(PgssConfig.from_scale(Scale.QUICK)).run(
+                get_workload(name, Scale.QUICK)
+            )

@@ -1,0 +1,65 @@
+"""Tests for the extension experiments: tradeoff and stratification gain."""
+
+import pytest
+
+from repro.config import Scale
+from repro.experiments import ExperimentContext
+from repro.experiments import stratification_gain, tradeoff
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    return ExperimentContext(
+        Scale.QUICK,
+        cache_dir=tmp_path_factory.mktemp("extcache"),
+        benchmarks=["164.gzip", "181.mcf"],
+    )
+
+
+class TestStratificationGain:
+    def test_structure(self, ctx):
+        result = stratification_gain.run(ctx)
+        assert set(result["benchmarks"]) == set(ctx.benchmarks)
+        for stats in result["benchmarks"].values():
+            assert stats["unstratified_samples"] > 0
+            assert stats["truth_samples"] > 0
+            assert stats["detected_samples"] > 0
+
+    def test_stratification_never_hurts_much(self, ctx):
+        result = stratification_gain.run(ctx)
+        for name, stats in result["benchmarks"].items():
+            assert stats["truth_gain"] >= 0.9, name
+            assert stats["detected_gain"] >= 0.9, name
+
+    def test_format(self, ctx):
+        text = stratification_gain.format_result(stratification_gain.run(ctx))
+        assert "gain" in text
+        assert "164.gzip" in text
+
+
+class TestTradeoff:
+    def test_curves_structure(self, ctx):
+        result = tradeoff.run(ctx)
+        assert len(result["smarts"]) == len(tradeoff.SMARTS_PERIOD_FACTORS)
+        assert len(result["smarts_cold"]) == len(tradeoff.SMARTS_PERIOD_FACTORS)
+        assert len(result["pgss"]) == len(tradeoff.PGSS_SPREAD_FACTORS)
+
+    def test_smarts_detail_falls_with_period(self, ctx):
+        result = tradeoff.run(ctx)
+        details = [p["mean_detailed_ops"] for p in result["smarts"]]
+        assert details == sorted(details, reverse=True)
+
+    def test_cold_sampling_worse(self, ctx):
+        result = tradeoff.run(ctx)
+        # At the dense periods — where sampling noise is small enough for
+        # the bias to dominate — cold fast-forward is clearly worse.  At
+        # the sparse end of the QUICK scale a dozen samples of noise can
+        # swamp the bias, so only the densest point is asserted.
+        warm = result["smarts"][0]
+        cold = result["smarts_cold"][0]
+        assert cold["a_mean_error"] > warm["a_mean_error"]
+
+    def test_format(self, ctx):
+        text = tradeoff.format_result(tradeoff.run(ctx))
+        assert "SMARTS (cold FF)" in text
+        assert "PGSS" in text

@@ -1,0 +1,41 @@
+"""Tests for the experiment text-formatting helpers."""
+
+from repro.experiments.formatting import fmt_ops, fmt_pct, table
+
+
+class TestTable:
+    def test_alignment(self):
+        text = table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All lines equal width per column: header padded to widest cell.
+        assert lines[0].startswith("a   ")
+        assert "----" in lines[1]
+
+    def test_empty_rows(self):
+        text = table(["h1", "h2"], [])
+        assert "h1" in text and "h2" in text
+
+    def test_cell_wider_than_header(self):
+        text = table(["x"], [["wide-cell"]])
+        assert "wide-cell" in text
+
+
+class TestFmtOps:
+    def test_scales(self):
+        assert fmt_ops(500) == "500"
+        assert fmt_ops(1_500) == "2k"
+        assert fmt_ops(80_000) == "80k"
+        assert fmt_ops(3_200_000) == "3.20M"
+        assert fmt_ops(2_500_000_000) == "2.50G"
+
+    def test_float_input(self):
+        assert fmt_ops(1234.5) == "1k"
+
+
+class TestFmtPct:
+    def test_precision_bands(self):
+        assert fmt_pct(0.123) == "0.12%"
+        assert fmt_pct(5.67) == "5.67%"
+        assert fmt_pct(45.6) == "45.6%"
+        assert fmt_pct(123.0) == "123%"

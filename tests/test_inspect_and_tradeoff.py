@@ -1,0 +1,95 @@
+"""Tests for program inspection and the cold-sampling SMARTS variant."""
+
+import pytest
+
+from repro import Scale, get_workload
+from repro.isa import Op
+from repro.program import dynamic_profile, static_profile
+from repro.sampling import Smarts, SmartsConfig, collect_reference_trace
+
+from conftest import make_two_phase_program
+
+
+class TestStaticProfile:
+    def test_counts(self):
+        program = make_two_phase_program()
+        profile = static_profile(program)
+        assert profile.n_blocks == 2
+        assert profile.n_instructions == 24 + 12
+        assert profile.n_behaviors == 2
+        assert profile.n_segments == 4
+
+    def test_op_mix_includes_branches(self):
+        profile = static_profile(make_two_phase_program())
+        assert profile.op_mix["BRANCH"] == 2
+        assert profile.op_mix.get("LOAD", 0) >= 2
+
+    def test_footprint_sums_pattern_spans(self):
+        profile = static_profile(make_two_phase_program())
+        assert profile.mem_footprint_bytes == 8 * 1024 + 16 * 1024 * 1024
+        assert profile.pattern_mix == {"REUSE": 1, "CHASE": 1}
+
+    def test_text_span_positive(self):
+        profile = static_profile(make_two_phase_program())
+        assert profile.text_span_bytes > 0
+
+    def test_workload_profiles(self):
+        for name in ("164.gzip", "181.mcf"):
+            profile = static_profile(get_workload(name, Scale.QUICK))
+            assert profile.n_blocks >= 2
+            assert profile.mem_footprint_bytes > 0
+
+
+class TestDynamicProfile:
+    def test_totals_match_stream(self):
+        program = make_two_phase_program()
+        profile = dynamic_profile(program)
+        assert profile.total_ops >= program.total_ops
+        assert sum(profile.block_ops.values()) == profile.total_ops
+        assert profile.mean_block_ops == pytest.approx(
+            profile.total_ops / profile.total_events
+        )
+
+    def test_behavior_occupancy(self):
+        profile = dynamic_profile(make_two_phase_program())
+        assert set(profile.behavior_ops) == {"fast", "slow"}
+        total = sum(profile.behavior_ops.values())
+        assert profile.behavior_ops["fast"] == pytest.approx(total / 2)
+
+    def test_taken_fraction_high_for_loops(self):
+        profile = dynamic_profile(make_two_phase_program())
+        # Loop-dominated programs take nearly every backward branch.
+        assert profile.taken_fraction > 0.9
+
+
+class TestColdSampling:
+    """The functional-warming ablation (Conte et al. cold samples)."""
+
+    def test_cold_samples_biased_slow(self):
+        program = make_two_phase_program(ops_per_phase=60_000)
+        trace = collect_reference_trace(program, 2_000)
+        base = SmartsConfig(period_ops=6_000, detail_ops=500, warmup_ops=500)
+
+        warm = Smarts(base).run(make_two_phase_program(ops_per_phase=60_000))
+        cold_cfg = SmartsConfig(
+            period_ops=6_000,
+            detail_ops=500,
+            warmup_ops=500,
+            functional_warming=False,
+        )
+        cold = Smarts(cold_cfg).run(make_two_phase_program(ops_per_phase=60_000))
+
+        # Cold samples see stale caches/predictors: estimated IPC is lower
+        # and the error larger than with functional warming.
+        assert cold.ipc_estimate < warm.ipc_estimate
+        assert cold.percent_error(trace.true_ipc) > warm.percent_error(
+            trace.true_ipc
+        )
+
+    def test_cold_config_flag_roundtrip(self):
+        cfg = SmartsConfig(
+            period_ops=10_000, detail_ops=500, warmup_ops=500,
+            functional_warming=False,
+        )
+        assert not cfg.functional_warming
+        assert SmartsConfig(period_ops=10_000).functional_warming

@@ -1,0 +1,128 @@
+"""Cross-module integration tests: the paper's claims in miniature.
+
+These run full technique pipelines on QUICK-scale workloads and assert the
+*comparative* properties the paper reports — the same shape the benchmark
+harness reproduces at the scaled operating point.
+"""
+
+import pytest
+
+from repro import Scale, get_workload
+from repro.sampling import (
+    FullDetail,
+    OnlineSimPoint,
+    OnlineSimPointConfig,
+    Pgss,
+    PgssConfig,
+    SimPoint,
+    SimPointConfig,
+    Smarts,
+    SmartsConfig,
+    TurboSmarts,
+    TurboSmartsConfig,
+    collect_reference_trace,
+)
+
+SCALE = Scale.QUICK
+
+
+@pytest.fixture(scope="module")
+def gzip_trace():
+    program = get_workload("164.gzip", SCALE)
+    return program, collect_reference_trace(program, SCALE.trace_window)
+
+
+class TestAccuracyClaims:
+    def test_smarts_accurate(self, gzip_trace):
+        program, trace = gzip_trace
+        result = Smarts(SmartsConfig.from_scale(SCALE)).run(program)
+        assert result.percent_error(trace.true_ipc) < 15.0
+
+    def test_pgss_reasonable_with_far_less_detail(self, gzip_trace):
+        program, trace = gzip_trace
+        smarts = Smarts(SmartsConfig.from_scale(SCALE)).run(program)
+        pgss = Pgss(PgssConfig.from_scale(SCALE)).run(program)
+        assert pgss.detailed_ops < smarts.detailed_ops
+        assert pgss.percent_error(trace.true_ipc) < 35.0
+
+    def test_simpoint_accurate_but_expensive(self, gzip_trace):
+        program, trace = gzip_trace
+        sp = SimPoint(SimPointConfig(SCALE.simpoint_intervals[1], 5)).run(
+            program, trace=trace
+        )
+        pgss = Pgss(PgssConfig.from_scale(SCALE)).run(program)
+        assert sp.detailed_ops > pgss.detailed_ops
+        assert sp.percent_error(trace.true_ipc) < 25.0
+
+    def test_turbo_cheaper_than_smarts_universe(self, gzip_trace):
+        program, _ = gzip_trace
+        smarts = Smarts(SmartsConfig.from_scale(SCALE)).run(program)
+        turbo = TurboSmarts(TurboSmartsConfig.from_scale(SCALE)).run(program)
+        assert turbo.detailed_ops <= smarts.detailed_ops
+
+    def test_online_simpoint_runs_whole_suite_interface(self, gzip_trace):
+        program, trace = gzip_trace
+        result = OnlineSimPoint(
+            OnlineSimPointConfig(SCALE.simpoint_intervals[1], 0.10)
+        ).run(program, trace=trace)
+        assert result.ipc_estimate > 0
+        assert result.n_samples >= 1
+
+
+class TestPhaseAwareness:
+    def test_pgss_adapts_samples_to_phases(self):
+        """PGSS takes more samples in long/unstable phases and fewer in
+        rare ones — Section 3's adaptive-allocation claim."""
+        program = get_workload("253.perlbmk", SCALE)
+        result = Pgss(
+            PgssConfig.from_scale(SCALE, bbv_period_ops=SCALE.pgss_periods[0])
+        ).run(program)
+        per_phase = result.extras["samples_per_phase"]
+        assert len(per_phase) >= 2
+        counts = sorted(per_phase.values())
+        assert counts[-1] > counts[0]  # unequal allocation
+
+    def test_short_period_finds_more_phases(self):
+        program_a = get_workload("164.gzip", SCALE)
+        program_b = get_workload("164.gzip", SCALE)
+        fine = Pgss(
+            PgssConfig.from_scale(SCALE, bbv_period_ops=SCALE.pgss_periods[0])
+        ).run(program_a)
+        coarse = Pgss(
+            PgssConfig.from_scale(SCALE, bbv_period_ops=SCALE.pgss_periods[-1])
+        ).run(program_b)
+        assert fine.extras["n_phases"] >= coarse.extras["n_phases"]
+
+    def test_loose_threshold_fewer_phases(self):
+        tight = Pgss(PgssConfig.from_scale(SCALE, threshold_pi=0.05)).run(
+            get_workload("183.equake", SCALE)
+        )
+        loose = Pgss(PgssConfig.from_scale(SCALE, threshold_pi=0.25)).run(
+            get_workload("183.equake", SCALE)
+        )
+        assert loose.extras["n_phases"] <= tight.extras["n_phases"]
+
+
+class TestGroundTruthConsistency:
+    def test_full_detail_equals_trace(self):
+        program = get_workload("177.mesa", SCALE)
+        trace = collect_reference_trace(program, SCALE.trace_window)
+        full = FullDetail().run(get_workload("177.mesa", SCALE))
+        assert full.ipc_estimate == pytest.approx(trace.true_ipc, rel=1e-9)
+
+    def test_trace_window_choice_does_not_change_truth(self):
+        program = get_workload("177.mesa", SCALE)
+        t1 = collect_reference_trace(program, 1_000)
+        t2 = collect_reference_trace(
+            get_workload("177.mesa", SCALE), 4_000
+        )
+        assert t1.true_ipc == pytest.approx(t2.true_ipc, rel=1e-9)
+
+    def test_machine_variation_shifts_ipc(self):
+        from repro import DEFAULT_MACHINE
+
+        small = DEFAULT_MACHINE.scaled_cache(4, 64)
+        program = get_workload("181.mcf", SCALE)
+        base = FullDetail().run(program)
+        shrunk = FullDetail(machine=small).run(get_workload("181.mcf", SCALE))
+        assert shrunk.ipc_estimate <= base.ipc_estimate + 1e-9

@@ -1,0 +1,231 @@
+"""Tests for the cache model and the two-level hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CacheConfig, DEFAULT_MACHINE
+from repro.memory import Cache, CacheHierarchy
+
+
+def small_cache(assoc: int = 2, sets: int = 4) -> Cache:
+    return Cache(CacheConfig(assoc * sets * 64, assoc), name="t")
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0x1000) is False
+        assert c.access(0x1000) is True
+
+    def test_same_line_different_offset_hits(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.access(0x103F) is True  # same 64B line
+
+    def test_adjacent_line_misses(self):
+        c = small_cache()
+        c.access(0x1000)
+        assert c.access(0x1040) is False
+
+    def test_lru_eviction_order(self):
+        c = small_cache(assoc=2, sets=1)  # fully specified single set
+        a, b, d = 0x0, 0x40, 0x80
+        c.access(a)
+        c.access(b)
+        c.access(a)      # a is MRU, b is LRU
+        c.access(d)      # evicts b
+        assert c.contains(a)
+        assert not c.contains(b)
+        assert c.contains(d)
+
+    def test_hit_refreshes_lru(self):
+        c = small_cache(assoc=2, sets=1)
+        a, b, d = 0x0, 0x40, 0x80
+        c.access(a)
+        c.access(b)      # order: b, a
+        c.access(a)      # order: a, b
+        c.access(d)      # evicts b, not a
+        assert c.contains(a) and not c.contains(b)
+
+    def test_writeback_counted_on_dirty_eviction(self):
+        c = small_cache(assoc=1, sets=1)
+        c.access(0x0, is_write=True)
+        assert c.stats.writebacks == 0
+        c.access(0x40)   # evicts dirty line
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = small_cache(assoc=1, sets=1)
+        c.access(0x0)
+        c.access(0x40)
+        assert c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = small_cache(assoc=1, sets=1)
+        c.access(0x0)                 # clean fill
+        c.access(0x0, is_write=True)  # dirty it
+        c.access(0x40)
+        assert c.stats.writebacks == 1
+
+    def test_stats_accounting(self):
+        c = small_cache()
+        c.access(0x0)
+        c.access(0x0)
+        c.access(0x40)
+        assert c.stats.accesses == 3
+        assert c.stats.hits == 1
+        assert c.stats.misses == 2
+        assert c.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_flush_invalidates(self):
+        c = small_cache()
+        c.access(0x0)
+        c.flush()
+        assert not c.contains(0x0)
+        assert c.resident_lines() == 0
+
+    def test_contains_is_side_effect_free(self):
+        c = small_cache()
+        c.access(0x0)
+        before = c.stats.accesses
+        c.contains(0x0)
+        assert c.stats.accesses == before
+
+    def test_snapshot_restore_roundtrip(self):
+        c = small_cache()
+        for addr in (0x0, 0x40, 0x80, 0x1000):
+            c.access(addr, is_write=addr == 0x40)
+        snap = c.snapshot()
+        c.access(0x2000)
+        c.access(0x2040)
+        c.restore(snap)
+        assert c.contains(0x0)
+        # The restored state must behave identically going forward.
+        assert c.access(0x40) is True
+
+    def test_restore_rejects_wrong_geometry(self):
+        c1 = small_cache(assoc=2, sets=4)
+        c2 = small_cache(assoc=4, sets=4)
+        with pytest.raises(ValueError):
+            c2.restore(c1.snapshot())
+
+    def test_capacity_bounded(self):
+        c = small_cache(assoc=2, sets=4)
+        for i in range(100):
+            c.access(i * 64)
+        assert c.resident_lines() <= 8
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_resident_never_exceeds_capacity(self, addrs):
+        c = small_cache(assoc=2, sets=4)
+        for addr in addrs:
+            c.access(addr)
+        assert c.resident_lines() <= 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=2, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, addrs):
+        c = small_cache()
+        for addr in addrs:
+            c.access(addr)
+            assert c.access(addr) is True
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 18), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_restore_equivalence(self, addrs):
+        """Replaying the same accesses after restore gives identical hits."""
+        c = small_cache()
+        for addr in addrs[: len(addrs) // 2]:
+            c.access(addr)
+        snap = c.snapshot()
+        tail = addrs[len(addrs) // 2 :]
+        first = [c.access(a) for a in tail]
+        c.restore(snap)
+        second = [c.access(a) for a in tail]
+        assert first == second
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 18), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_hits_plus_misses_is_accesses(self, addrs):
+        c = small_cache()
+        for addr in addrs:
+            c.access(addr)
+        assert c.stats.hits + c.stats.misses == c.stats.accesses == len(addrs)
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        h = CacheHierarchy(DEFAULT_MACHINE)
+        h.access_data(0x1000)
+        res = h.access_data(0x1000)
+        assert res.level == 1
+        assert res.latency == DEFAULT_MACHINE.l1d.hit_latency
+
+    def test_miss_goes_to_memory_first_time(self):
+        h = CacheHierarchy(DEFAULT_MACHINE)
+        res = h.access_data(0x1000)
+        assert res.level == 3
+        assert res.latency == (
+            DEFAULT_MACHINE.l1d.hit_latency
+            + DEFAULT_MACHINE.l2.hit_latency
+            + DEFAULT_MACHINE.memory_latency
+        )
+
+    def test_l2_hit_after_l1_eviction(self):
+        machine = DEFAULT_MACHINE.scaled_cache(1, 1024)  # tiny 1 KB L1
+        h = CacheHierarchy(machine)
+        h.access_data(0x0)
+        # Blow the 16-line L1 with conflicting lines; L2 keeps everything.
+        for i in range(1, 64):
+            h.access_data(i * 1024)
+        res = h.access_data(0x0)
+        assert res.level == 2
+
+    def test_split_l1_sides_are_independent(self):
+        h = CacheHierarchy(DEFAULT_MACHINE)
+        h.access_data(0x1000)
+        res = h.access_inst(0x1000)
+        # Same address on the I-side does not hit the D-side L1 (it does
+        # hit the unified L2).
+        assert res.level == 2
+
+    def test_warm_matches_access_state(self):
+        h1 = CacheHierarchy(DEFAULT_MACHINE)
+        h2 = CacheHierarchy(DEFAULT_MACHINE)
+        addrs = [0x0, 0x40, 0x1000, 0x0, 0x40400, 0x1000]
+        for a in addrs:
+            h1.access_data(a)
+            h2.warm_data(a)
+        assert h1.snapshot() == h2.snapshot()
+
+    def test_memory_access_counter(self):
+        h = CacheHierarchy(DEFAULT_MACHINE)
+        h.access_data(0x0)
+        h.access_data(0x0)
+        assert h.memory_accesses == 1
+
+    def test_snapshot_restore(self):
+        h = CacheHierarchy(DEFAULT_MACHINE)
+        for i in range(32):
+            h.access_data(i * 64)
+        snap = h.snapshot()
+        h.flush()
+        h.restore(snap)
+        assert h.access_data(0x0).level == 1
+
+    def test_reset_stats(self):
+        h = CacheHierarchy(DEFAULT_MACHINE)
+        h.access_data(0x0)
+        h.access_inst(0x0)
+        h.reset_stats()
+        assert h.l1d.stats.accesses == 0
+        assert h.l1i.stats.accesses == 0
+        assert h.memory_accesses == 0
+
+    def test_stats_summary_keys(self):
+        h = CacheHierarchy(DEFAULT_MACHINE)
+        assert set(h.stats_summary()) == {"L1I", "L1D", "L2"}

@@ -1,0 +1,134 @@
+"""Tests for hierarchical and variable-length phase analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Scale, get_workload
+from repro.errors import SamplingError
+from repro.phase import hierarchical_phases, variable_length_intervals
+from repro.sampling import collect_reference_trace
+
+from conftest import make_two_phase_program
+
+
+def unit(index: int, dim: int = 16) -> np.ndarray:
+    vec = np.zeros(dim)
+    vec[index] = 1.0
+    return vec
+
+
+def alternating_series(run_len=8, n_runs=6):
+    """A B A B ... with run_len windows each."""
+    bbvs = []
+    for r in range(n_runs):
+        bbvs.extend([unit(r % 2)] * run_len)
+    ops = [100] * len(bbvs)
+    return bbvs, ops
+
+
+class TestVariableIntervals:
+    def test_segments_at_behaviour_changes(self):
+        bbvs, ops = alternating_series()
+        intervals = variable_length_intervals(bbvs, ops, 0.05 * math.pi)
+        assert len(intervals) == 6
+        assert all(iv.n_windows == 8 for iv in intervals)
+
+    def test_recurring_behaviour_same_phase_id(self):
+        bbvs, ops = alternating_series()
+        intervals = variable_length_intervals(bbvs, ops, 0.05 * math.pi)
+        a_ids = {iv.phase_id for iv in intervals[0::2]}
+        b_ids = {iv.phase_id for iv in intervals[1::2]}
+        assert len(a_ids) == 1 and len(b_ids) == 1
+        assert a_ids != b_ids
+
+    def test_intervals_cover_everything(self):
+        bbvs, ops = alternating_series()
+        intervals = variable_length_intervals(bbvs, ops, 0.05 * math.pi)
+        assert sum(iv.ops for iv in intervals) == sum(ops)
+        assert intervals[0].start_window == 0
+        assert intervals[-1].end_window == len(bbvs)
+        for prev, cur in zip(intervals, intervals[1:]):
+            assert prev.end_window == cur.start_window
+
+    def test_loose_threshold_one_interval(self):
+        bbvs, ops = alternating_series()
+        intervals = variable_length_intervals(bbvs, ops, math.pi)
+        assert len(intervals) == 1
+
+    def test_fewer_intervals_than_fixed_at_same_threshold(self):
+        """The point of variable-length intervals: a stable phase needs
+        one interval regardless of its length."""
+        bbvs, ops = alternating_series(run_len=20, n_runs=4)
+        intervals = variable_length_intervals(bbvs, ops, 0.05 * math.pi)
+        assert len(intervals) == 4  # 80 fixed windows -> 4 intervals
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            variable_length_intervals([], [], 0.1)
+        with pytest.raises(SamplingError):
+            variable_length_intervals([unit(0)], [1, 2], 0.1)
+
+
+class TestHierarchy:
+    def test_phase_count_falls_with_factor(self):
+        # Fine alternation nested inside a coarse alternation.
+        bbvs = []
+        for coarse in range(4):
+            for i in range(16):
+                base = 2 * (coarse % 2)
+                bbvs.append(unit(base + i % 2))
+        ops = [100] * len(bbvs)
+        levels = hierarchical_phases(bbvs, ops, factors=(1, 4, 16))
+        assert levels[1].n_phases >= levels[16].n_phases
+        assert levels[16].n_phases == 2  # the two coarse behaviours
+
+    def test_coherent_hierarchy_scores_high(self):
+        bbvs, ops = alternating_series(run_len=16, n_runs=4)
+        levels = hierarchical_phases(bbvs, ops, factors=(1, 8))
+        # Runs are multiples of the factor: coarse periods are pure.
+        assert levels[8].coherence == pytest.approx(1.0)
+
+    def test_straddling_boundaries_lower_coherence(self):
+        bbvs, ops = alternating_series(run_len=6, n_runs=8)  # 6 % 4 != 0
+        levels = hierarchical_phases(bbvs, ops, factors=(1, 4))
+        assert levels[4].coherence < 1.0
+
+    def test_finest_level_coherence_is_one(self):
+        bbvs, ops = alternating_series()
+        levels = hierarchical_phases(bbvs, ops, factors=(1, 2))
+        assert levels[1].coherence == 1.0
+
+    def test_validation(self):
+        bbvs, ops = alternating_series()
+        with pytest.raises(SamplingError):
+            hierarchical_phases(bbvs, ops, factors=(2, 4))
+        with pytest.raises(SamplingError):
+            hierarchical_phases(bbvs, ops, factors=())
+        with pytest.raises(SamplingError):
+            hierarchical_phases([], [], factors=(1,))
+
+
+class TestOnWorkloads:
+    def test_art_micro_phases_visible_at_fine_level(self):
+        """179.art: the hierarchy explains the Fig.-11 pathology — many
+        fine-level transitions melt into few coarse phases."""
+        program = get_workload("179.art", Scale.QUICK)
+        trace = collect_reference_trace(program, Scale.QUICK.trace_window)
+        bbvs = list(trace.normalized_bbvs())
+        ops = trace.ops.tolist()
+        levels = hierarchical_phases(bbvs, ops, factors=(1, 8))
+        assert levels[1].n_phases >= levels[8].n_phases
+
+    def test_two_phase_program_variable_intervals(self):
+        program = make_two_phase_program()
+        trace = collect_reference_trace(program, 2_000)
+        intervals = variable_length_intervals(
+            list(trace.normalized_bbvs()), trace.ops.tolist(), 0.05 * math.pi
+        )
+        # Two behaviours, four segments: a handful of long intervals, far
+        # fewer than the window count.
+        assert len(intervals) < trace.n_windows / 4
+        phase_ids = {iv.phase_id for iv in intervals}
+        assert len(phase_ids) >= 2

@@ -1,0 +1,128 @@
+"""Property-based tests on pipeline and engine invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DEFAULT_MACHINE, Mode, SimulationEngine
+from repro.program import Behavior, BlockBuilder, PatternKind, Program, Segment
+
+from conftest import make_two_phase_program
+
+
+def build_random_program(seed: int, n_blocks: int, ops_budget: int) -> Program:
+    """A random but valid program derived from a hypothesis seed."""
+    import random
+
+    rng = random.Random(seed)
+    builder = BlockBuilder(seed=seed)
+    blocks = []
+    for _ in range(n_blocks):
+        mix = rng.choice(list(BlockBuilder.MIXES))
+        n_mem = rng.randint(0, 2)
+        pats = []
+        for _ in range(n_mem):
+            kind = rng.choice(list(PatternKind))
+            span = rng.choice([4096, 65536, 1 << 22])
+            pats.append(builder.pattern(kind, span, stride=8))
+        blocks.append(
+            builder.build(
+                rng.randint(n_mem + 4, 28),
+                mix=mix,
+                dep_density=rng.random() * 0.6,
+                mem_patterns=pats,
+            )
+        )
+    behaviors = [
+        Behavior(f"b{i}", [(blk, (rng.randint(5, 60), 2))])
+        for i, blk in enumerate(blocks)
+    ]
+    script = []
+    remaining = ops_budget
+    while remaining > 0:
+        ops = min(rng.randint(2_000, 10_000), remaining)
+        script.append(Segment(rng.choice(behaviors).name, max(ops, 1_000)))
+        remaining -= ops
+    return Program("random", blocks, behaviors, script, seed=seed)
+
+
+class TestTimingInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_blocks=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_ipc_never_exceeds_width(self, seed, n_blocks):
+        program = build_random_program(seed, n_blocks, 30_000)
+        engine = SimulationEngine(program)
+        result = engine.run_to_end(Mode.DETAIL)
+        assert result.ipc <= DEFAULT_MACHINE.issue_width + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_cycles_at_least_ops_over_width(self, seed):
+        program = build_random_program(seed, 3, 30_000)
+        engine = SimulationEngine(program)
+        result = engine.run_to_end(Mode.DETAIL)
+        assert result.cycles >= result.ops / DEFAULT_MACHINE.issue_width - 1
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_detail_deterministic(self, seed):
+        program1 = build_random_program(seed, 3, 20_000)
+        program2 = build_random_program(seed, 3, 20_000)
+        r1 = SimulationEngine(program1).run_to_end(Mode.DETAIL)
+        r2 = SimulationEngine(program2).run_to_end(Mode.DETAIL)
+        assert r1.ops == r2.ops
+        assert r1.cycles == r2.cycles
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        split=st.integers(min_value=1_000, max_value=19_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_window_cycles_telescope(self, seed, split):
+        """Splitting a run into two windows sums to the unsplit cycles."""
+        whole = SimulationEngine(build_random_program(seed, 3, 20_000))
+        total = whole.run_to_end(Mode.DETAIL)
+
+        split_engine = SimulationEngine(build_random_program(seed, 3, 20_000))
+        first = split_engine.run(Mode.DETAIL, split)
+        rest = split_engine.run_to_end(Mode.DETAIL)
+        assert first.ops + rest.ops == total.ops
+        assert first.cycles + rest.cycles == total.cycles
+
+
+class TestWarmingInvariants:
+    @given(prefix=st.integers(min_value=2_000, max_value=100_000))
+    @settings(max_examples=10, deadline=None)
+    def test_any_prefix_warming_equivalence(self, prefix):
+        """FUNC_WARM and DETAIL leave identical cache/predictor state after
+        any prefix length."""
+        p1 = make_two_phase_program()
+        p2 = make_two_phase_program()
+        e1 = SimulationEngine(p1)
+        e2 = SimulationEngine(p2)
+        e1.run(Mode.DETAIL, prefix)
+        e2.run(Mode.FUNC_WARM, prefix)
+        assert e1.hierarchy.snapshot() == e2.hierarchy.snapshot()
+        assert e1.predictor.snapshot() == e2.predictor.snapshot()
+
+    @given(
+        chunks=st.lists(
+            st.integers(min_value=500, max_value=20_000), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_chunked_warming_equals_single_pass(self, chunks):
+        p1 = make_two_phase_program()
+        p2 = make_two_phase_program()
+        e1 = SimulationEngine(p1)
+        e2 = SimulationEngine(p2)
+        for chunk in chunks:
+            e1.run(Mode.FUNC_WARM, chunk)
+        e2.run(Mode.FUNC_WARM, e1.ops_completed and sum(chunks))
+        # Ops consumed may differ by block boundaries; compare at equal
+        # offsets only when they agree.
+        if e1.ops_completed == e2.ops_completed:
+            assert e1.hierarchy.snapshot() == e2.hierarchy.snapshot()

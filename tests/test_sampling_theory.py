@@ -1,0 +1,98 @@
+"""Tests for the stratified-sampling theory helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.stats.sampling_theory import (
+    population_variance,
+    required_samples_comparison,
+    stratification_gain,
+    within_stratum_variance,
+)
+
+
+def bimodal_population(n=1000, lo=0.2, hi=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    values = np.concatenate(
+        [rng.normal(lo, 0.02, half), rng.normal(hi, 0.02, n - half)]
+    )
+    labels = [0] * half + [1] * (n - half)
+    return values.tolist(), labels
+
+
+class TestVariances:
+    def test_population_variance(self):
+        assert population_variance([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_within_stratum_variance_pooled(self):
+        values = [1.0, 1.0, 3.0, 3.0]
+        labels = [0, 0, 1, 1]
+        assert within_stratum_variance(values, labels) == 0.0
+
+    def test_within_less_than_population_for_separated_strata(self):
+        values, labels = bimodal_population()
+        assert within_stratum_variance(values, labels) < 0.05
+        assert population_variance(values) > 0.5
+
+    def test_single_stratum_equals_population(self):
+        values = [1.0, 2.0, 5.0, 0.5]
+        assert within_stratum_variance(values, [0] * 4) == pytest.approx(
+            population_variance(values)
+        )
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            population_variance([])
+        with pytest.raises(SamplingError):
+            within_stratum_variance([1.0], [0, 1])
+
+
+class TestGain:
+    def test_bimodal_gain_large(self):
+        values, labels = bimodal_population()
+        assert stratification_gain(values, labels) > 40.0
+
+    def test_useless_labels_gain_one(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(1.0, 0.3, 500).tolist()
+        labels = (np.arange(500) % 2).tolist()  # arbitrary split
+        assert stratification_gain(values, labels) == pytest.approx(1.0, rel=0.1)
+
+    def test_constant_strata_infinite(self):
+        assert stratification_gain([1.0, 1.0, 2.0, 2.0], [0, 0, 1, 1]) == float(
+            "inf"
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=8, max_size=60)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gain_at_least_for_any_labelling(self, values):
+        """Within-stratum variance never exceeds population variance by
+        much... in fact proportional-allocation pooled variance is always
+        <= population variance (law of total variance)."""
+        labels = [i % 3 for i in range(len(values))]
+        pop = population_variance(values)
+        within = within_stratum_variance(values, labels)
+        assert within <= pop + 1e-9
+
+
+class TestRequiredSamplesComparison:
+    def test_bimodal_comparison(self):
+        values, labels = bimodal_population()
+        result = required_samples_comparison(values, labels)
+        assert result["stratified"] < result["unstratified"]
+        assert result["gain"] > 40.0
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(SamplingError):
+            required_samples_comparison([-1.0, 1.0], [0, 1])
+
+    def test_keys(self):
+        values, labels = bimodal_population(n=100)
+        result = required_samples_comparison(values, labels)
+        assert set(result) == {"unstratified", "stratified", "gain"}

@@ -1,0 +1,135 @@
+"""Tests for the program stream: determinism, control flow, snapshots."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ProgramStream, StreamExhausted, get_workload, Scale
+from conftest import make_two_phase_program
+
+
+class TestStreamBasics:
+    def test_emits_until_script_done(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        events = list(stream)
+        assert stream.exhausted
+        total = sum(e.block.n_ops for e in events)
+        assert total == stream.ops_emitted
+        # Segments overshoot by at most one block each.
+        assert two_phase_program.total_ops <= total
+        assert total <= two_phase_program.total_ops + 4 * 24
+
+    def test_deterministic_replay(self, two_phase_program):
+        s1 = ProgramStream(two_phase_program)
+        s2 = ProgramStream(two_phase_program)
+        e1 = [(e.block.bid, e.taken, e.k) for e in s1]
+        e2 = [(e.block.bid, e.taken, e.k) for e in s2]
+        assert e1 == e2
+
+    def test_execution_counts_increment(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        seen = {}
+        for event in stream:
+            expected = seen.get(event.block.bid, 0)
+            assert event.k == expected
+            seen[event.block.bid] = expected + 1
+
+    def test_loop_branch_pattern(self, two_phase_program):
+        """Within one entry visit the terminator is taken until the final
+        iteration."""
+        stream = ProgramStream(two_phase_program)
+        events = [stream.next_event() for _ in range(120)]
+        # First behaviour: 'fast' with ~50-iteration visits: expect a run
+        # of takens then one not-taken at each visit boundary.
+        takens = [e.taken for e in events]
+        assert takens[0] is True
+        assert False in takens  # an exit occurs within ~50 iterations
+        first_exit = takens.index(False)
+        assert 40 <= first_exit <= 60
+        assert all(takens[:first_exit])
+
+    def test_next_event_none_after_end(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        for _ in stream:
+            pass
+        assert stream.next_event() is None
+
+    def test_current_behavior_name(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        assert stream.current_behavior_name == "fast"
+
+    def test_take_ops(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        events = stream.take_ops(1000)
+        got = sum(e.block.n_ops for e in events)
+        assert got >= 1000
+        assert got <= 1000 + 24
+
+    def test_take_ops_raises_on_exhaustion(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        with pytest.raises(StreamExhausted):
+            stream.take_ops(10_000_000)
+
+    def test_take_ops_zero(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        assert stream.take_ops(0) == []
+
+
+class TestStreamSnapshot:
+    def test_snapshot_restore_resumes_identically(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        stream.take_ops(20_000)
+        snap = stream.snapshot()
+        tail1 = [(e.block.bid, e.taken, e.k) for e in stream]
+        stream2 = ProgramStream(two_phase_program)
+        stream2.restore(snap)
+        tail2 = [(e.block.bid, e.taken, e.k) for e in stream2]
+        assert tail1 == tail2
+
+    @given(st.integers(min_value=1, max_value=120_000))
+    @settings(max_examples=20, deadline=None)
+    def test_snapshot_anywhere(self, cut):
+        program = make_two_phase_program()
+        stream = ProgramStream(program)
+        try:
+            stream.take_ops(cut)
+        except StreamExhausted:
+            return
+        snap = stream.snapshot()
+        tail1 = [(e.block.bid, e.taken) for e in stream]
+        fresh = ProgramStream(program)
+        fresh.restore(snap)
+        tail2 = [(e.block.bid, e.taken) for e in fresh]
+        assert tail1 == tail2
+
+    def test_restore_rejects_wrong_program(self, two_phase_program, quick_gzip):
+        s1 = ProgramStream(two_phase_program)
+        s2 = ProgramStream(quick_gzip)
+        with pytest.raises(Exception):
+            s2.restore(s1.snapshot())
+
+    def test_clone_fresh_starts_over(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        stream.take_ops(5000)
+        clone = stream.clone_fresh()
+        assert clone.ops_emitted == 0
+        assert not clone.exhausted
+
+
+class TestStreamOnWorkloads:
+    def test_workload_stream_matches_nominal_length(self, quick_gzip):
+        stream = ProgramStream(quick_gzip)
+        for _ in stream:
+            pass
+        nominal = quick_gzip.total_ops
+        assert nominal <= stream.ops_emitted <= nominal * 1.15
+
+    def test_random_branch_blocks_vary(self):
+        program = get_workload("197.parser", Scale.QUICK)
+        stream = ProgramStream(program)
+        outcomes_by_block = {}
+        for event in stream:
+            if event.block.random_taken_prob is not None:
+                outcomes_by_block.setdefault(event.block.bid, set()).add(event.taken)
+        assert outcomes_by_block, "parser should contain random branches"
+        assert any(len(v) == 2 for v in outcomes_by_block.values())

@@ -1,0 +1,69 @@
+"""Tests for the random program synthesiser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Mode, SimulationEngine
+from repro.errors import ConfigurationError
+from repro.program import ProgramStream, SynthesisSpec, synthesize_program
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        SynthesisSpec()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisSpec(total_ops=0)
+        with pytest.raises(ConfigurationError):
+            SynthesisSpec(n_behaviors=0)
+        with pytest.raises(ConfigurationError):
+            SynthesisSpec(min_segment_ops=10, max_segment_ops=5)
+        with pytest.raises(ConfigurationError):
+            SynthesisSpec(blocks_per_behavior=0)
+
+
+class TestSynthesize:
+    def test_deterministic(self):
+        p1 = synthesize_program(42)
+        p2 = synthesize_program(42)
+        assert [b.address for b in p1.blocks] == [b.address for b in p2.blocks]
+        assert [(s.behavior, s.ops) for s in p1.script] == [
+            (s.behavior, s.ops) for s in p2.script
+        ]
+
+    def test_seeds_differ(self):
+        p1 = synthesize_program(1)
+        p2 = synthesize_program(2)
+        assert [b.ops for b in p1.blocks] != [b.ops for b in p2.blocks]
+
+    def test_respects_spec_shape(self):
+        spec = SynthesisSpec(
+            total_ops=50_000, n_behaviors=4, blocks_per_behavior=3
+        )
+        program = synthesize_program(7, spec)
+        assert len(program.behaviors) == 4
+        assert program.n_blocks == 12
+        assert program.total_ops >= 50_000
+
+    def test_custom_name(self):
+        assert synthesize_program(3, name="myprog").name == "myprog"
+        assert synthesize_program(3).name == "synth.3"
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_seed_yields_valid_program(self, seed):
+        spec = SynthesisSpec(total_ops=20_000)
+        program = synthesize_program(seed, spec)
+        stream = ProgramStream(program)
+        total = sum(e.block.n_ops for e in stream)
+        assert total >= 20_000
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_any_seed_simulates(self, seed):
+        spec = SynthesisSpec(total_ops=15_000)
+        program = synthesize_program(seed, spec)
+        result = SimulationEngine(program).run_to_end(Mode.DETAIL)
+        assert 0 < result.ipc <= 4.0

@@ -1,0 +1,118 @@
+"""Tests for trace recording and trace-driven replay."""
+
+import numpy as np
+import pytest
+
+from repro import Mode, ProgramError, ProgramStream, SimulationEngine, StreamExhausted
+from repro.program import EventTrace, TraceStream, record_trace
+from repro.sampling import FullDetail
+
+from conftest import make_two_phase_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return make_two_phase_program()
+
+
+@pytest.fixture(scope="module")
+def trace(program):
+    return record_trace(program)
+
+
+class TestRecord:
+    def test_records_full_run(self, program, trace):
+        assert len(trace) > 0
+        assert trace.total_ops(program) >= program.total_ops
+
+    def test_matches_live_stream(self, program, trace):
+        stream = ProgramStream(program)
+        for i, event in enumerate(stream):
+            assert trace.bids[i] == event.block.bid
+            assert trace.taken[i] == event.taken
+            assert trace.ks[i] == event.k
+
+    def test_max_ops_bound(self, program):
+        partial = record_trace(program, max_ops=10_000)
+        assert 10_000 <= partial.total_ops(program) <= 10_100
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ProgramError):
+            EventTrace("x", np.zeros(2), np.zeros(3, dtype=bool), np.zeros(2))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = EventTrace.load(path)
+        assert loaded.program_name == trace.program_name
+        assert (loaded.bids == trace.bids).all()
+        assert (loaded.taken == trace.taken).all()
+        assert (loaded.ks == trace.ks).all()
+
+
+class TestReplay:
+    def test_rejects_wrong_program(self, trace):
+        other = make_two_phase_program(seed=99)
+        other_named = type(other)(
+            "different", other.blocks, list(other.behaviors.values()),
+            other.script, seed=1,
+        )
+        with pytest.raises(ProgramError):
+            TraceStream(other_named, trace)
+
+    def test_replay_events_identical(self, program, trace):
+        replay = trace.as_stream(program)
+        live = ProgramStream(program)
+        for live_event in live:
+            replayed = replay.next_event()
+            assert replayed.block is live_event.block
+            assert replayed.taken == live_event.taken
+            assert replayed.k == live_event.k
+        assert replay.next_event() is None
+
+    def test_snapshot_restore(self, program, trace):
+        replay = trace.as_stream(program)
+        replay.take_ops(5_000)
+        snap = replay.snapshot()
+        tail1 = [e.block.bid for e in replay]
+        replay2 = trace.as_stream(program)
+        replay2.restore(snap)
+        tail2 = [e.block.bid for e in replay2]
+        assert tail1 == tail2
+
+    def test_take_ops_exhaustion(self, program, trace):
+        replay = trace.as_stream(program)
+        with pytest.raises(StreamExhausted):
+            replay.take_ops(10**9)
+
+    def test_clone_fresh(self, program, trace):
+        replay = trace.as_stream(program)
+        replay.take_ops(5_000)
+        fresh = replay.clone_fresh()
+        assert fresh.ops_emitted == 0
+
+
+class TestTraceDrivenSimulation:
+    def test_replayed_ipc_matches_execution_driven(self, program, trace):
+        """Trace-driven detailed simulation is bit-identical to
+        execution-driven simulation of the same program."""
+        live = FullDetail().run(program)
+        engine = SimulationEngine(program, stream=trace.as_stream(program))
+        replayed = engine.run_to_end(Mode.DETAIL)
+        assert replayed.ops == live.total_ops
+        assert replayed.ipc == pytest.approx(live.ipc_estimate, rel=1e-12)
+
+    def test_replay_on_different_machine(self, program, trace):
+        """The same trace replays under a different cache configuration,
+        isolating architecture effects from workload generation."""
+        from repro import DEFAULT_MACHINE
+
+        small = DEFAULT_MACHINE.scaled_cache(4, 64)
+        engine = SimulationEngine(
+            program, machine=small, stream=trace.as_stream(program)
+        )
+        result = engine.run_to_end(Mode.DETAIL)
+        base = FullDetail().run(program)
+        assert result.ipc <= base.ipc_estimate + 1e-9
