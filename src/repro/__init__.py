@@ -24,6 +24,7 @@ from .errors import (
     ReproError,
     SamplingError,
     SimulationError,
+    SnapshotError,
     StreamExhausted,
 )
 from .program import (
@@ -59,6 +60,7 @@ __all__ = [
     "ConfigurationError",
     "ProgramError",
     "SimulationError",
+    "SnapshotError",
     "StreamExhausted",
     "SamplingError",
     "ClusteringError",

@@ -1,0 +1,68 @@
+"""Static analysis for simulation correctness: the ``simlint`` engine.
+
+PGSS-Sim's headline claims rest on two invariants that unit tests can
+only spot-check but static analysis can police structurally:
+
+* **Bit-reproducibility** — every RNG is explicitly seeded, no wall
+  clock or hash-order dependence reaches simulated state, so a run is a
+  pure function of (workload, config, seed).
+* **No oracle leakage** — online sampling and phase-tracking code makes
+  decisions from the past of the stream only: no imports from the
+  experiment harness, no calls into full-run/ground-truth APIs, no
+  stream lookahead.
+
+:mod:`repro.analysis.core` provides the rule engine (AST walk,
+severities, ``# simlint: disable=RULE`` suppressions, text/JSON
+reporters); :mod:`~repro.analysis.determinism`,
+:mod:`~repro.analysis.leakage`, :mod:`~repro.analysis.hygiene` and
+:mod:`~repro.analysis.units` provide the domain rules.  The console
+script ``pgss-lint`` (see :mod:`repro.analysis.cli`) runs them all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from .core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    max_severity,
+    render_json,
+    render_text,
+)
+from .determinism import DETERMINISM_RULES
+from .hygiene import HYGIENE_RULES
+from .leakage import LEAKAGE_RULES
+from .units import UNITS_RULES
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "default_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "max_severity",
+    "render_json",
+    "render_text",
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every built-in rule, in rule-ID order."""
+    classes: List[Type[Rule]] = [
+        *DETERMINISM_RULES,
+        *LEAKAGE_RULES,
+        *HYGIENE_RULES,
+        *UNITS_RULES,
+    ]
+    return sorted((cls() for cls in classes), key=lambda r: r.rule_id)

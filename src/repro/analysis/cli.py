@@ -1,0 +1,114 @@
+"""Command-line interface: ``pgss-lint``.
+
+Usage::
+
+    pgss-lint src/repro                      # lint a tree, text output
+    pgss-lint --format json src/repro        # machine-readable report
+    pgss-lint --select DET001,DET004 path    # run only these rules
+    pgss-lint --ignore HYG003 path           # run all but these
+    pgss-lint --list-rules                   # print the rule catalogue
+
+The exit code is the maximum severity found: 0 for a clean tree, 1 if
+only warnings fired, 2 if any error fired.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import default_rules
+from .core import Rule, lint_paths, max_severity, render_json, render_text
+
+__all__ = ["main", "build_parser", "select_rules"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="pgss-lint",
+        description=(
+            "simulation-correctness linter for PGSS-Sim: determinism, "
+            "oracle-leakage, hygiene and unit rules over Python sources"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories recurse into *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule IDs to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule ID with its severity and summary, then exit",
+    )
+    return parser
+
+
+def select_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> List[Rule]:
+    """Resolve ``--select`` / ``--ignore`` into a concrete rule list."""
+    rules = default_rules()
+    if select:
+        wanted = [r.strip() for r in select.split(",") if r.strip()]
+        rules = [r for r in rules if r.rule_id in wanted]
+    if ignore:
+        skipped = [r.strip() for r in ignore.split(",") if r.strip()]
+        rules = [r for r in rules if r.rule_id not in skipped]
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the max severity as the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}  {rule.severity.label:7s}  {rule.summary}")
+        return 0
+
+    if not args.paths:
+        parser.error("at least one path is required (or --list-rules)")
+
+    rules = select_rules(args.select, args.ignore)
+    if not rules:
+        parser.error("--select/--ignore left no rules to run")
+
+    try:
+        findings = lint_paths(args.paths, rules)
+    except OSError as exc:
+        print(
+            f"pgss-lint: error: cannot read {exc.filename}: {exc.strerror}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    return max_severity(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,316 @@
+"""Rule engine for ``simlint``: AST walk, findings, suppressions, reporters.
+
+The engine is deliberately small and dependency-free.  A
+:class:`Rule` inspects one parsed module (:class:`ModuleContext`) and
+yields :class:`Finding` objects; :func:`lint_paths` drives the walk over
+files and directories, filters suppressed findings, and returns them
+sorted for stable output.  Two reporters are provided: a
+``path:line:col`` text format and a schema-versioned JSON document.
+
+Suppressions are line-scoped comments, mirroring the usual linter
+convention::
+
+    elapsed = time.perf_counter() - start  # simlint: disable=DET005
+    legacy_call()  # simlint: disable            (silences every rule)
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from pathlib import PurePath
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "dotted_name",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "max_severity",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+]
+
+#: Version stamp of the JSON reporter output; bump on breaking changes.
+JSON_SCHEMA_VERSION = 1
+
+#: Rule ID used for findings produced by unparseable source.
+PARSE_RULE_ID = "PARSE001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+)
+
+#: Sentinel for "every rule is suppressed on this line".
+_ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; the integer doubles as the process exit code."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used by the reporters."""
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (stable key set)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering key: (path, line, col, rule_id)."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule IDs disabled on that line.
+
+    The special value containing ``"*"`` means every rule is disabled.
+    Unparseable trailing source (inside a triple-quoted string cut off,
+    say) degrades gracefully to "no suppressions found past that point".
+    """
+    table: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                ids = _ALL_RULES
+            else:
+                ids = frozenset(r.strip() for r in rules.split(","))
+            line = tok.start[0]
+            table[line] = table.get(line, frozenset()) | ids
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return table
+
+
+class ModuleContext:
+    """One parsed module plus the metadata rules need to judge it."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = PurePath(path).as_posix()
+        self.source = source
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+        parts = PurePath(self.path).parts
+        # Package-relative parts: everything after the *last* "repro"
+        # directory, so rules can ask "is this file under repro/sampling?"
+        # regardless of where the checkout lives.
+        self.package_parts: Tuple[str, ...] = ()
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == "repro":
+                self.package_parts = parts[i + 1 :]
+                break
+
+    @property
+    def module_name(self) -> str:
+        """File name without extension (``cache`` for ``.../cache.py``)."""
+        return PurePath(self.path).stem
+
+    def in_subpackage(self, *names: str) -> bool:
+        """True if the module lives under ``repro/<name>/`` for any name."""
+        return bool(self.package_parts) and self.package_parts[0] in names
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True if *rule_id* is disabled on *line* by a simlint comment."""
+        ids = self.suppressions.get(line)
+        if ids is None:
+            return False
+        return "*" in ids or rule_id in ids
+
+
+class Rule:
+    """Base class for one lint check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings via :meth:`finding` so location and severity are
+    filled in consistently.
+    """
+
+    rule_id: str = "XXX000"
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module.  Subclasses must override."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a finding for *node* with this rule's ID and severity."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Dotted name of a ``Name``/``Attribute`` chain, or None.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``.  Chains
+    containing calls or subscripts (``a().b``) resolve to None: the
+    rules only reason about statically-spelled names.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Lint one module given as text; *path* is used for reporting."""
+    posix = PurePath(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=PARSE_RULE_ID,
+                severity=Severity.ERROR,
+                message=f"source failed to parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path, source, tree)
+    findings = [
+        f
+        for rule in rules
+        for f in rule.check(ctx)
+        if not ctx.is_suppressed(f.line, f.rule_id)
+    ]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_file(path: str, rules: Sequence[Rule]) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, path, rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Sequence[Rule]
+) -> List[Finding]:
+    """Lint files and directory trees; returns findings in stable order."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def max_severity(findings: Sequence[Finding]) -> int:
+    """Highest severity present (0 for a clean run) — the exit code."""
+    return max((int(f.severity) for f in findings), default=0)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-oriented ``path:line:col: ID severity: message`` report."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} {f.severity.label}: "
+        f"{f.message}"
+        for f in findings
+    ]
+    errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"{len(findings)} finding(s): {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-oriented report with a stable, versioned schema."""
+    errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "pgss-lint",
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "total": len(findings),
+            "errors": errors,
+            "warnings": len(findings) - errors,
+            "max_severity": max_severity(findings),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

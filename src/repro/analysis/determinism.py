@@ -1,0 +1,302 @@
+"""Determinism rules: every run must be a pure function of its seed.
+
+Bit-reproducibility is the first invariant the paper's evaluation rests
+on — two runs with the same (workload, config, seed) must produce the
+same estimate, or reported errors are noise.  These rules reject the
+usual ways nondeterminism creeps into Python simulators: RNGs drawing
+from hidden global state, wall-clock reads, and iteration orders that
+depend on ``PYTHONHASHSEED``.
+
+Rule IDs
+--------
+DET001  RNG constructed or reseeded without an explicit seed
+DET002  module-level ``random.*`` call (hidden shared global state)
+DET003  legacy ``numpy.random.*`` API instead of a ``Generator``
+DET004  wall-clock read (``time.time``, ``datetime.now``, ...)
+DET005  host monotonic timing (``perf_counter``, ...) — warning
+DET006  iteration over a set where element order escapes
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple, Type
+
+from .core import Finding, ModuleContext, Rule, Severity, dotted_name
+
+__all__ = [
+    "DETERMINISM_RULES",
+    "HostTimingRule",
+    "LegacyNumpyRandomRule",
+    "ModuleLevelRandomRule",
+    "SetOrderEscapeRule",
+    "UnseededRngRule",
+    "WallClockRule",
+]
+
+#: ``random`` module functions that mutate/read the hidden global RNG.
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Names under ``numpy.random`` that belong to the *new* Generator API.
+_NUMPY_GENERATOR_API = frozenset(
+    {
+        "BitGenerator",
+        "Generator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "SeedSequence",
+        "default_rng",
+    }
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_HOST_TIMING_CALLS = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+    }
+)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+class UnseededRngRule(Rule):
+    """DET001: an RNG constructed (or reseeded) without an explicit seed."""
+
+    rule_id = "DET001"
+    severity = Severity.ERROR
+    summary = "RNG constructed without an explicit seed"
+
+    _CONSTRUCTORS = frozenset(
+        {
+            "random.Random",
+            "Random",
+            "random.seed",
+            "np.random.default_rng",
+            "numpy.random.default_rng",
+            "default_rng",
+        }
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in self._CONSTRUCTORS and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() takes its seed from OS entropy; pass an "
+                    "explicit seed so runs are reproducible",
+                )
+
+
+class ModuleLevelRandomRule(Rule):
+    """DET002: module-level ``random.*`` draws from hidden global state."""
+
+    rule_id = "DET002"
+    severity = Severity.ERROR
+    summary = "module-level random.* call uses hidden global state"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _GLOBAL_RANDOM_FUNCS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() uses the interpreter-global RNG; draw from "
+                    "a random.Random(seed) instance owned by the caller",
+                )
+
+
+class LegacyNumpyRandomRule(Rule):
+    """DET003: legacy ``numpy.random`` API (global ``RandomState``)."""
+
+    rule_id = "DET003"
+    severity = Severity.ERROR
+    summary = "legacy numpy.random API instead of a seeded Generator"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] not in _NUMPY_GENERATOR_API
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() drives numpy's legacy global RandomState; "
+                    "use np.random.default_rng(seed) and pass the "
+                    "Generator explicitly",
+                )
+
+
+class WallClockRule(Rule):
+    """DET004: wall-clock reads make runs depend on when they execute."""
+
+    rule_id = "DET004"
+    severity = Severity.ERROR
+    summary = "wall-clock read in simulation code"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() reads the wall clock; simulated state must "
+                    "be a function of (workload, config, seed) only",
+                )
+
+
+class HostTimingRule(Rule):
+    """DET005: monotonic host timers — legitimate only for rate reporting.
+
+    ``perf_counter`` and friends cannot leak absolute time, but any value
+    they produce still differs between hosts and runs.  Measuring
+    simulator throughput is fine; suppress those sites with
+    ``# simlint: disable=DET005``.  Everything else is suspect.
+    """
+
+    rule_id = "DET005"
+    severity = Severity.WARNING
+    summary = "host timing call; must not influence simulated state"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in _HOST_TIMING_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() measures host time; acceptable only for "
+                    "rate reporting — suppress with a justification if so",
+                )
+
+
+class SetOrderEscapeRule(Rule):
+    """DET006: set iteration order escaping into results.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` for str keys, so
+    ``for x in {...}`` or ``list(set(...))`` can reorder samples between
+    runs.  Wrap the set in ``sorted(...)`` before iterating.
+    """
+
+    rule_id = "DET006"
+    severity = Severity.ERROR
+    summary = "iteration over a set where element order escapes"
+
+    _MATERIALISERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in ("set", "frozenset")
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        message = (
+            "iteration order of a set depends on PYTHONHASHSEED; "
+            "wrap it in sorted(...) before iterating"
+        )
+        for node in ast.walk(ctx.tree):
+            iters: List[Tuple[ast.AST, ast.AST]] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append((node, node.iter))
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                iters.extend((gen.iter, gen.iter) for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in self._MATERIALISERS and len(node.args) >= 1:
+                    iters.append((node, node.args[0]))
+            for report_node, iter_expr in iters:
+                if self._is_set_expr(iter_expr):
+                    yield self.finding(ctx, report_node, message)
+
+
+DETERMINISM_RULES: List[Type[Rule]] = [
+    UnseededRngRule,
+    ModuleLevelRandomRule,
+    LegacyNumpyRandomRule,
+    WallClockRule,
+    HostTimingRule,
+    SetOrderEscapeRule,
+]

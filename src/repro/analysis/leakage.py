@@ -1,0 +1,186 @@
+"""Oracle-leakage rules: online code may not peek at the future.
+
+The sampling techniques (``repro/sampling/``) and phase trackers
+(``repro/phase/``) are *online* algorithms: at operation *t* they may
+use only the stream prefix ``[0, t]``.  This is the property that makes
+live-sampling systems (Pac-Sim, two-phase stratified sampling)
+trustworthy, and it is exactly the property a unit test on final error
+numbers cannot establish — a leaky sampler looks *better*, not broken.
+So the boundary is enforced structurally:
+
+Rule IDs
+--------
+LEA001  sampling/phase module imports the experiment harness
+LEA002  sampling/phase module calls a full-run / ground-truth API
+LEA003  stream lookahead (``itertools.tee`` or materialising a stream)
+
+``repro/sampling/full.py`` is exempt from LEA002: it *defines* the
+reference oracle the experiments compare against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Type
+
+from .core import Finding, ModuleContext, Rule, Severity, dotted_name
+
+__all__ = [
+    "LEAKAGE_RULES",
+    "ExperimentImportRule",
+    "OracleCallRule",
+    "StreamLookaheadRule",
+]
+
+#: Sub-packages whose modules must be online (no oracle access).
+ONLINE_SUBPACKAGES = ("sampling", "phase")
+
+#: Callables that expose full-run ground truth.
+ORACLE_CALLS = frozenset(
+    {
+        "collect_reference_trace",
+        "ground_truth",
+        "oracle_ipc",
+        "reference_trace",
+    }
+)
+
+#: Attributes that expose full-run ground truth.
+ORACLE_ATTRIBUTES = frozenset({"true_ipc", "ground_truth"})
+
+#: Module basenames exempt from LEA002 (they *are* the oracle).
+_ORACLE_DEFINING_MODULES = frozenset({"full"})
+
+
+def _is_online_module(ctx: ModuleContext) -> bool:
+    return ctx.in_subpackage(*ONLINE_SUBPACKAGES)
+
+
+class ExperimentImportRule(Rule):
+    """LEA001: online code importing the experiment harness."""
+
+    rule_id = "LEA001"
+    severity = Severity.ERROR
+    summary = "online sampling/phase code imports repro.experiments"
+
+    @staticmethod
+    def _imports_experiments(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[:2] == ["repro", "experiments"]:
+                    return alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            top = module.split(".")[0] if module else ""
+            if module.split(".")[:2] == ["repro", "experiments"]:
+                return module
+            if node.level >= 1 and top == "experiments":
+                return "." * node.level + module
+            if node.level >= 1 and not module:
+                for alias in node.names:
+                    if alias.name == "experiments":
+                        return "." * node.level + alias.name
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _is_online_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            imported = self._imports_experiments(node)
+            if imported is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"import of {imported!r}: online sampling/phase code "
+                    "must not depend on the experiment harness (oracle "
+                    "territory)",
+                )
+
+
+class OracleCallRule(Rule):
+    """LEA002: online code touching full-run / ground-truth APIs."""
+
+    rule_id = "LEA002"
+    severity = Severity.ERROR
+    summary = "online sampling/phase code calls a ground-truth API"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _is_online_module(ctx):
+            return
+        if ctx.module_name in _ORACLE_DEFINING_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.split(".")[-1] in ORACLE_CALLS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to {name}(): an online technique may not "
+                        "consult full-run ground truth while sampling",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if node.attr in ORACLE_ATTRIBUTES and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"access to .{node.attr}: full-run ground truth is "
+                        "off limits to online sampling/phase code",
+                    )
+
+
+class StreamLookaheadRule(Rule):
+    """LEA003: lookahead on a program stream.
+
+    ``itertools.tee`` lets code consume a copy of the stream ahead of
+    the simulated cursor, and ``list(stream)`` materialises the whole
+    future at once — both are oracle access in disguise.
+    """
+
+    rule_id = "LEA003"
+    severity = Severity.ERROR
+    summary = "stream lookahead in online sampling/phase code"
+
+    _MATERIALISERS = frozenset({"list", "tuple"})
+
+    @staticmethod
+    def _names_a_stream(node: ast.AST) -> bool:
+        name = dotted_name(node)
+        return name is not None and "stream" in name.split(".")[-1].lower()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _is_online_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name == "itertools.tee" or name.split(".")[-1] == "tee":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "itertools.tee() forks the stream and permits reading "
+                    "ahead of the simulated cursor",
+                )
+            elif (
+                name in self._MATERIALISERS
+                and len(node.args) == 1
+                and self._names_a_stream(node.args[0])
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() materialises the whole stream — the future "
+                    "of the stream is not observable online",
+                )
+
+
+LEAKAGE_RULES: List[Type[Rule]] = [
+    ExperimentImportRule,
+    OracleCallRule,
+    StreamLookaheadRule,
+]

@@ -1,0 +1,95 @@
+"""Dimensional-analysis rule: operations and cycles are different units.
+
+The simulator counts work in *operations* (``*_ops``, ``*_insts``) and
+time in *cycles* (``*_cycles``).  Dividing one by the other is how IPC
+and CPI are defined — that is a unit conversion and always fine.  But
+*adding or subtracting* across the two families is meaningless in every
+case, and it is exactly the bug class a sampled simulator is most prone
+to: accumulating a warm-up cycle count into a sampled op budget skews
+every downstream estimate while all unit tests still pass.
+
+Rule IDs
+--------
+UNI001  additive arithmetic or comparison mixing ``*_ops``/``*_insts``
+        with ``*_cycles`` identifiers
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Type
+
+from .core import Finding, ModuleContext, Rule, Severity, dotted_name
+
+__all__ = ["UNITS_RULES", "UnitMixRule"]
+
+_OPS_SUFFIXES = ("_ops", "_insts", "_instructions")
+_OPS_NAMES = frozenset({"ops", "insts", "instructions", "n_ops", "n_insts"})
+_CYCLE_SUFFIXES = ("_cycles",)
+_CYCLE_NAMES = frozenset({"cycles", "n_cycles"})
+
+
+def _unit_family(node: ast.AST) -> Optional[str]:
+    """Classify an identifier as counting 'ops', 'cycles', or neither."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    leaf = name.split(".")[-1].lower()
+    if leaf in _OPS_NAMES or leaf.endswith(_OPS_SUFFIXES):
+        return "ops"
+    if leaf in _CYCLE_NAMES or leaf.endswith(_CYCLE_SUFFIXES):
+        return "cycles"
+    return None
+
+
+class UnitMixRule(Rule):
+    """UNI001: additive mixing of op counts with cycle counts.
+
+    ``a_ops / b_cycles`` (a rate) and ``a_ops * factor`` are fine;
+    ``a_ops + b_cycles``, ``a_ops - b_cycles``, ``ops += cycles`` and
+    ``a_ops < b_cycles`` are always bugs unless an explicit conversion
+    intervenes — in which case the converted value should be *named*
+    for what it is.
+    """
+
+    rule_id = "UNI001"
+    severity = Severity.ERROR
+    summary = "arithmetic mixes op counts with cycle counts"
+
+    @staticmethod
+    def _message(left: str, right: str) -> str:
+        return (
+            f"mixes {left} with {right} without a conversion; operations "
+            "and cycles are different units — convert explicitly (e.g. "
+            "via an IPC factor) and name the result for its unit"
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left = _unit_family(node.left)
+                right = _unit_family(node.right)
+                if left and right and left != right:
+                    yield self.finding(ctx, node, self._message(left, right))
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left = _unit_family(node.target)
+                right = _unit_family(node.value)
+                if left and right and left != right:
+                    yield self.finding(ctx, node, self._message(left, right))
+            elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+                if isinstance(
+                    node.ops[0], (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq)
+                ):
+                    left = _unit_family(node.left)
+                    right = _unit_family(node.comparators[0])
+                    if left and right and left != right:
+                        yield self.finding(
+                            ctx, node, self._message(left, right)
+                        )
+
+
+UNITS_RULES: List[Type[Rule]] = [UnitMixRule]

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SnapshotError
 
 __all__ = ["BranchStats", "BranchPredictor", "BimodalPredictor", "GsharePredictor"]
 
@@ -92,7 +92,7 @@ class BimodalPredictor(BranchPredictor):
 
     def restore(self, state: Dict[str, Any]) -> None:
         if state.get("kind") != "bimodal" or len(state["table"]) != len(self._table):
-            raise ValueError("snapshot does not match this predictor")
+            raise SnapshotError("snapshot does not match this predictor")
         self._table = list(state["table"])
 
 
@@ -135,6 +135,6 @@ class GsharePredictor(BranchPredictor):
 
     def restore(self, state: Dict[str, Any]) -> None:
         if state.get("kind") != "gshare" or len(state["table"]) != len(self._table):
-            raise ValueError("snapshot does not match this predictor")
+            raise SnapshotError("snapshot does not match this predictor")
         self._table = list(state["table"])
         self._history = state["history"]

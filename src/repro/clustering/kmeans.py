@@ -8,7 +8,7 @@ L2-normalised so Euclidean and cosine orderings agree closely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -33,6 +33,11 @@ class KMeansResult:
     labels: np.ndarray
     inertia: float
     n_iter: int
+    #: Original data, kept for representative selection; not part of the
+    #: value identity of the result.
+    _points: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def k(self) -> int:
@@ -73,10 +78,9 @@ class KMeansResult:
 
     @property
     def _points_sq_dists(self) -> np.ndarray:
-        points = getattr(self, "_points", None)
-        if points is None:
+        if self._points is None:
             raise ClusteringError("result was created without point data")
-        diffs = points - self.centroids[self.labels]
+        diffs = self._points - self.centroids[self.labels]
         return np.einsum("ij,ij->i", diffs, diffs)
 
 
@@ -191,7 +195,7 @@ def kmeans(
                 labels=labels.copy(),
                 inertia=inertia,
                 n_iter=n_iter,
+                _points=data,
             )
-            object.__setattr__(best, "_points", data)
     assert best is not None
     return best

@@ -12,6 +12,7 @@ __all__ = [
     "ConfigurationError",
     "ProgramError",
     "SimulationError",
+    "SnapshotError",
     "StreamExhausted",
     "SamplingError",
     "ClusteringError",
@@ -32,6 +33,10 @@ class ProgramError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
+
+
+class SnapshotError(SimulationError):
+    """A checkpoint snapshot does not match the component restoring it."""
 
 
 class StreamExhausted(ReproError):

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..config import CacheConfig
+from ..errors import SnapshotError
 
 __all__ = ["Cache", "CacheStats"]
 
@@ -132,7 +133,7 @@ class Cache:
         """Restore state captured by :meth:`snapshot`."""
         tags, dirty = state
         if len(tags) != self._n_sets * self._assoc:
-            raise ValueError("snapshot geometry does not match this cache")
+            raise SnapshotError("snapshot geometry does not match this cache")
         self._tags = list(tags)
         self._dirty = list(dirty)
 

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.branch import BimodalPredictor, GsharePredictor
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SnapshotError
 
 
 @pytest.fixture(params=[BimodalPredictor, GsharePredictor])
@@ -87,7 +87,7 @@ class TestBimodalSpecific:
     def test_restore_rejects_gshare_snapshot(self):
         b = BimodalPredictor(table_bits=8)
         g = GsharePredictor(table_bits=8)
-        with pytest.raises(ValueError):
+        with pytest.raises(SnapshotError):
             b.restore(g.snapshot())
 
 

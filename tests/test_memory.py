@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import CacheConfig, DEFAULT_MACHINE
+from repro.errors import SnapshotError
 from repro.memory import Cache, CacheHierarchy
 
 
@@ -107,7 +108,7 @@ class TestCacheBasics:
     def test_restore_rejects_wrong_geometry(self):
         c1 = small_cache(assoc=2, sets=4)
         c2 = small_cache(assoc=4, sets=4)
-        with pytest.raises(ValueError):
+        with pytest.raises(SnapshotError):
             c2.restore(c1.snapshot())
 
     def test_capacity_bounded(self):
