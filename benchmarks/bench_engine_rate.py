@@ -1,0 +1,121 @@
+"""Engine-rate bench: scalar vs. batched fast-forward throughput.
+
+Measures the raw simulation rate (ops/second) of every execution mode
+through both dispatch paths and asserts the batched fast-forward layer
+delivers its headline speedup: FUNC_FAST with BBV tracking at least 5x
+the scalar event loop.  Detailed modes always run the scalar path, so
+their two columns double as a dispatch-overhead sanity check.
+
+Beyond the human-readable table in ``results/engine_rate.txt``, the raw
+numbers land in ``results/BENCH_engine_rate.json`` for machine
+consumption (CI trend lines, the README performance section).
+"""
+
+import json
+import platform
+import time
+
+from repro import BbvTracker, Mode, SimulationEngine
+from repro.experiments.formatting import table
+
+from conftest import record
+
+#: Calibration workload and op budget (per timed run).
+RATE_BENCHMARK = "164.gzip"
+RATE_OPS = 600_000
+
+#: Modes that exercise the batched dispatch path.
+BATCHED_MODES = (Mode.FUNC_FAST, Mode.FUNC_WARM)
+
+
+def _rate(ctx, mode, with_bbv, batched):
+    program = ctx.program(RATE_BENCHMARK)
+    tracker = BbvTracker() if with_bbv else None
+    engine = SimulationEngine(
+        program, machine=ctx.machine, bbv_tracker=tracker,
+        batched=None if batched else False,
+    )
+    # Warm the interpreter before timing.
+    engine.run(mode, RATE_OPS // 10)
+    start = time.perf_counter()  # simlint: disable=DET005
+    run = engine.run(mode, RATE_OPS)
+    elapsed = time.perf_counter() - start  # simlint: disable=DET005
+    return run.ops / elapsed if elapsed > 0 else 0.0
+
+
+def measure(ctx):
+    rates = {}
+    for mode in Mode:
+        for with_bbv in (False, True):
+            suffix = "+bbv" if with_bbv else ""
+            rates[f"{mode.value}{suffix}"] = _rate(ctx, mode, with_bbv, True)
+            if mode in BATCHED_MODES:
+                rates[f"{mode.value}_scalar{suffix}"] = _rate(
+                    ctx, mode, with_bbv, False
+                )
+    speedups = {
+        f"{mode.value}{suffix}": (
+            rates[f"{mode.value}{suffix}"]
+            / rates[f"{mode.value}_scalar{suffix}"]
+        )
+        for mode in BATCHED_MODES
+        for suffix in ("", "+bbv")
+        if rates[f"{mode.value}_scalar{suffix}"]
+    }
+    return {"rates": rates, "speedups": speedups}
+
+
+def format_result(result):
+    rows = []
+    for mode in Mode:
+        scalar_key = f"{mode.value}_scalar"
+        for suffix in ("", "+bbv"):
+            key = f"{mode.value}{suffix}"
+            scalar = result["rates"].get(scalar_key + suffix)
+            rows.append(
+                [
+                    key,
+                    f"{result['rates'][key] / 1e3:,.0f} kops/s",
+                    f"{scalar / 1e3:,.0f} kops/s" if scalar else "-",
+                    f"{result['speedups'][key]:.1f}x"
+                    if key in result["speedups"]
+                    else "-",
+                ]
+            )
+    header = (
+        "Engine throughput — batched vs. scalar dispatch "
+        f"({RATE_BENCHMARK}, {RATE_OPS:,} ops per timed run)\n"
+        f"batched FUNC_FAST+BBV speedup: "
+        f"{result['speedups'].get('func_fast+bbv', 0.0):.1f}x\n\n"
+    )
+    return header + table(["mode", "batched", "scalar", "speedup"], rows)
+
+
+def test_engine_rate(benchmark, ctx, results_dir):
+    result = benchmark.pedantic(measure, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "engine_rate", format_result(result))
+
+    payload = {
+        "benchmark": RATE_BENCHMARK,
+        "ops_per_run": RATE_OPS,
+        "scale": ctx.scale.name,
+        "python": platform.python_version(),
+        "rates_ops_per_sec": {k: round(v, 1) for k, v in result["rates"].items()},
+        "speedups": {k: round(v, 2) for k, v in result["speedups"].items()},
+    }
+    (results_dir / "BENCH_engine_rate.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    rates = result["rates"]
+    # Every mode must make forward progress.
+    assert all(r > 0 for r in rates.values())
+    # The acceptance bar: batched FUNC_FAST with BBV at least 5x scalar.
+    assert result["speedups"]["func_fast+bbv"] >= 5.0
+    assert result["speedups"]["func_fast"] >= 5.0
+    # FUNC_WARM batching must at least not regress.
+    assert result["speedups"]["func_warm+bbv"] >= 0.9
+
+    benchmark.extra_info["speedups"] = {
+        k: round(v, 1) for k, v in result["speedups"].items()
+    }

@@ -32,6 +32,7 @@ from .program import (
     Behavior,
     BlockBuilder,
     BlockEvent,
+    BlockRun,
     MemPattern,
     PatternKind,
     Program,
@@ -69,6 +70,7 @@ __all__ = [
     "Behavior",
     "BlockBuilder",
     "BlockEvent",
+    "BlockRun",
     "MemPattern",
     "PatternKind",
     "Program",

@@ -8,14 +8,16 @@ L2-normalised, and compared with previous vectors by the angle between them
 (the cosine comes from a single dot product).
 """
 
-from .tracker import BbvTracker, ReducedBbvHash, WideBbvHash
-from .vector import angle_between, l2_normalize, manhattan_distance
+from .tracker import BbvHash, BbvTracker, ReducedBbvHash, WideBbvHash
+from .vector import angle_between, l2_norm, l2_normalize, manhattan_distance
 
 __all__ = [
+    "BbvHash",
     "BbvTracker",
     "ReducedBbvHash",
     "WideBbvHash",
     "angle_between",
+    "l2_norm",
     "l2_normalize",
     "manhattan_distance",
 ]

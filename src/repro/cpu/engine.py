@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..branch import BimodalPredictor, BranchPredictor, GsharePredictor
 from ..config import DEFAULT_MACHINE, MachineConfig
@@ -121,6 +121,14 @@ class SimulationEngine:
             execution-driven :class:`~repro.program.ProgramStream` — e.g.
             a :class:`~repro.program.trace_io.TraceStream` for
             trace-driven simulation.
+        batched: batched fast-forward policy for the functional modes.
+            ``None`` (default) auto-detects: batching is used whenever
+            the stream supports ``next_events`` and the tracker (if any)
+            supports ``record_batch``, and falls back to the scalar
+            event loop otherwise.  ``True`` requires a batch-capable
+            stream (:class:`ConfigurationError` otherwise); ``False``
+            forces the scalar path — the batched/scalar equivalence
+            suite and the rate benchmarks rely on this switch.
     """
 
     def __init__(
@@ -131,6 +139,7 @@ class SimulationEngine:
         bbv_tracker: Optional[Any] = None,
         hierarchy: Optional[CacheHierarchy] = None,
         stream: Optional[Any] = None,
+        batched: Optional[bool] = None,
     ) -> None:
         self.program = program
         self.machine = machine
@@ -141,6 +150,12 @@ class SimulationEngine:
         self.warmer = FunctionalWarmer(self.hierarchy, self.predictor)
         self.bbv_tracker = bbv_tracker
         self.accounting = ModeAccounting()
+        if batched and not hasattr(self.stream, "next_events"):
+            raise ConfigurationError(
+                "batched=True requires a stream with next_events() "
+                f"(got {type(self.stream).__name__})"
+            )
+        self.batched = batched
 
     @property
     def ops_completed(self) -> int:
@@ -152,6 +167,56 @@ class SimulationEngine:
         """True once the program has run to completion."""
         return self.stream.exhausted
 
+    def _batching(self, tracker: Optional[Any]) -> bool:
+        """Whether the functional modes should take the batched path."""
+        if self.batched is False:
+            return False
+        return hasattr(self.stream, "next_events") and (
+            tracker is None or hasattr(tracker, "record_batch")
+        )
+
+    def _run_scalar(
+        self,
+        execute: Optional[Callable[..., None]],
+        n_ops: int,
+        tracker: Optional[Any],
+    ) -> int:
+        """The scalar event loop shared by every mode."""
+        next_event = self.stream.next_event
+        record = tracker.record if tracker is not None else None
+        ops = 0
+        while ops < n_ops:
+            event = next_event()
+            if event is None:
+                break
+            if execute is not None:
+                execute(event)
+            if record is not None:
+                record(event.block, event.taken)
+            ops += event.block.n_ops
+        return ops
+
+    def _run_batched(self, mode: Mode, n_ops: int, tracker: Optional[Any]) -> int:
+        """Advance a functional mode through run-length batches.
+
+        FUNC_FAST consumes whole runs with no per-event work at all;
+        FUNC_WARM replays each run's events through the warmer (state is
+        order-dependent) but skips per-event stream dispatch.  BBV
+        accumulation is a single vectorised call per batch.  Both land in
+        byte-identical stream/tracker/machine state to the scalar loop.
+        """
+        runs = self.stream.next_events(n_ops)
+        if mode is Mode.FUNC_WARM:
+            execute_run = self.warmer.execute_run
+            for run in runs:
+                execute_run(run)
+        ops = 0
+        for run in runs:
+            ops += run.n * run.block.n_ops
+        if tracker is not None and runs:
+            tracker.record_batch(runs)
+        return ops
+
     def run(self, mode: Mode, n_ops: int) -> ModeRun:
         """Advance the stream by at least *n_ops* operations in *mode*.
 
@@ -160,80 +225,31 @@ class SimulationEngine:
         """
         if n_ops < 0:
             raise SimulationError("n_ops must be non-negative")
-        stream = self.stream
         tracker = self.bbv_tracker
-        ops = 0
         cycles = 0
         # Wall-clock only feeds the rate accounting (Fig. 13), never
         # simulated state.
         start_time = time.perf_counter()  # simlint: disable=DET005
 
-        if mode is Mode.DETAIL or mode is Mode.DETAIL_WARM:
+        if mode.is_detailed:
             pipeline = self.pipeline
-            execute = pipeline.execute_event
             start_cycle = pipeline.cycle
-            next_event = stream.next_event
-            if tracker is None:
-                while ops < n_ops:
-                    event = next_event()
-                    if event is None:
-                        break
-                    execute(event)
-                    ops += event.block.n_ops
-            else:
-                record = tracker.record
-                while ops < n_ops:
-                    event = next_event()
-                    if event is None:
-                        break
-                    execute(event)
-                    record(event.block, event.taken)
-                    ops += event.block.n_ops
+            ops = self._run_scalar(pipeline.execute_event, n_ops, tracker)
             if ops:
                 # Issue-cycle delta: window boundaries telescope exactly,
                 # so per-window cycles over a full run sum to the full
                 # run's cycle count.
                 cycles = pipeline.cycle - start_cycle
-        elif mode is Mode.FUNC_WARM:
-            execute = self.warmer.execute_event
-            next_event = stream.next_event
-            if tracker is None:
-                while ops < n_ops:
-                    event = next_event()
-                    if event is None:
-                        break
-                    execute(event)
-                    ops += event.block.n_ops
-            else:
-                record = tracker.record
-                while ops < n_ops:
-                    event = next_event()
-                    if event is None:
-                        break
-                    execute(event)
-                    record(event.block, event.taken)
-                    ops += event.block.n_ops
-        else:  # Mode.FUNC_FAST
-            next_event = stream.next_event
-            if tracker is None:
-                while ops < n_ops:
-                    event = next_event()
-                    if event is None:
-                        break
-                    ops += event.block.n_ops
-            else:
-                record = tracker.record
-                while ops < n_ops:
-                    event = next_event()
-                    if event is None:
-                        break
-                    record(event.block, event.taken)
-                    ops += event.block.n_ops
+        elif self._batching(tracker):
+            ops = self._run_batched(mode, n_ops, tracker)
+        else:
+            execute = self.warmer.execute_event if mode is Mode.FUNC_WARM else None
+            ops = self._run_scalar(execute, n_ops, tracker)
 
         elapsed = time.perf_counter() - start_time  # simlint: disable=DET005
         self.accounting.ops[mode] += ops
         self.accounting.seconds[mode] += elapsed
-        return ModeRun(mode=mode, ops=ops, cycles=cycles, exhausted=stream.exhausted)
+        return ModeRun(mode=mode, ops=ops, cycles=cycles, exhausted=self.stream.exhausted)
 
     def run_to_end(self, mode: Mode, chunk_ops: int = 1_000_000) -> ModeRun:
         """Run in *mode* until the program completes; returns the total."""

@@ -21,7 +21,7 @@ __all__ = ["ResultCache"]
 
 #: Bump when a change invalidates previously cached results (simulator
 #: timing semantics, workload definitions, estimators).
-CACHE_VERSION = 6
+CACHE_VERSION = 7
 
 
 def _default_cache_dir() -> Path:

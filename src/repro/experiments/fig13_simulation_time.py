@@ -36,12 +36,21 @@ RATE_OPS = 600_000
 
 
 def measure_rates(ctx: ExperimentContext) -> Dict[str, float]:
-    """Measure ops/second for each mode, with and without BBV tracking."""
+    """Measure ops/second for each mode, with and without BBV tracking.
 
-    def one(mode: Mode, with_bbv: bool) -> float:
+    The functional modes run through the batched fast-forward engine (the
+    production default); ``func_fast_scalar`` rows re-measure FUNC_FAST
+    with batching disabled, so the table carries the scalar-vs-batched
+    speedup alongside the paper's mode comparison.
+    """
+
+    def one(mode: Mode, with_bbv: bool, batched: bool = True) -> float:
         program = ctx.program(RATE_BENCHMARK)
         tracker = BbvTracker() if with_bbv else None
-        engine = SimulationEngine(program, machine=ctx.machine, bbv_tracker=tracker)
+        engine = SimulationEngine(
+            program, machine=ctx.machine, bbv_tracker=tracker,
+            batched=None if batched else False,
+        )
         # Warm the interpreter and caches briefly before timing.
         engine.run(mode, RATE_OPS // 10)
         # Timing measures simulator throughput for the figure; it never
@@ -56,6 +65,9 @@ def measure_rates(ctx: ExperimentContext) -> Dict[str, float]:
         for with_bbv in (False, True):
             key = f"{mode.value}{'+bbv' if with_bbv else ''}"
             rates[key] = one(mode, with_bbv)
+    for with_bbv in (False, True):
+        key = f"func_fast_scalar{'+bbv' if with_bbv else ''}"
+        rates[key] = one(Mode.FUNC_FAST, with_bbv, batched=False)
     return rates
 
 
@@ -119,7 +131,8 @@ def _technique_times(
 def run(ctx: ExperimentContext) -> Dict[str, Any]:
     """Measure rates and compose suite-level simulation times."""
     rates = ctx.cache.json(
-        {"kind": "rates", "scale": ctx.scale.name, "ops": RATE_OPS},
+        {"kind": "rates", "scale": ctx.scale.name, "ops": RATE_OPS,
+         "engine": "batched"},
         lambda: measure_rates(ctx),
     )
     fig12 = run_fig12(ctx)
@@ -128,6 +141,11 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
     bbv_overhead_detail = (
         1.0 - rates["detail+bbv"] / rates["detail"] if rates["detail"] else 0.0
     )
+    batched_speedup = (
+        rates["func_fast+bbv"] / rates["func_fast_scalar+bbv"]
+        if rates.get("func_fast_scalar+bbv")
+        else 0.0
+    )
     pgss_detail_seconds = times["PGSS"]["warm"] + times["PGSS"]["detail"]
     return {
         "rates": rates,
@@ -135,6 +153,7 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
         "totals": {t: sum(parts.values()) for t, parts in times.items()},
         "ff_vs_detail_ratio": detail_ratio,
         "bbv_overhead_detail": bbv_overhead_detail,
+        "batched_speedup": batched_speedup,
         "pgss_detail_seconds": pgss_detail_seconds,
     }
 
@@ -143,12 +162,13 @@ def format_result(result: Dict[str, Any]) -> str:
     """Fig.-13 tables: per-mode rates and per-technique totals."""
     rate_rows: List[List[str]] = []
     label = {
-        "func_fast": "Fast-Forward",
+        "func_fast": "Fast-Forward (batched)",
+        "func_fast_scalar": "Fast-Forward (scalar)",
         "func_warm": "Functional Fast-Forward",
         "detail_warm": "Detailed Warming",
         "detail": "Detailed Simulation",
     }
-    for key in ("func_fast", "func_warm", "detail_warm", "detail"):
+    for key in ("func_fast", "func_fast_scalar", "func_warm", "detail_warm", "detail"):
         rate_rows.append(
             [
                 label[key],
@@ -167,6 +187,8 @@ def format_result(result: Dict[str, Any]) -> str:
         f"functional warming is {result['ff_vs_detail_ratio']:.1f}x faster "
         f"than detail (paper: ~4x); BBV overhead on detail: "
         f"{100 * result['bbv_overhead_detail']:.1f}%\n"
+        f"batched fast-forward (with BBV) is "
+        f"{result.get('batched_speedup', 0.0):.1f}x the scalar event loop\n"
         f"PGSS combined detailed warming + simulation: "
         f"{result['pgss_detail_seconds']:.2f} s for the whole suite\n\n"
     )

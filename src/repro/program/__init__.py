@@ -18,7 +18,7 @@ from .mem_patterns import MemPattern, PatternKind
 from .block import BasicBlock, BlockBuilder
 from .behavior import Behavior
 from .program import Program, Segment
-from .stream import BlockEvent, ProgramStream
+from .stream import BlockEvent, BlockRun, ProgramStream
 from .trace_io import EventTrace, TraceStream, record_trace
 from .inspect import DynamicProfile, StaticProfile, dynamic_profile, static_profile
 from .synthesis import SynthesisSpec, synthesize_program
@@ -38,6 +38,7 @@ __all__ = [
     "Program",
     "Segment",
     "BlockEvent",
+    "BlockRun",
     "ProgramStream",
     "EventTrace",
     "TraceStream",

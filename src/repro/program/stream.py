@@ -14,13 +14,13 @@ program state is fully captured by (script position, counters, RNG state).
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from ..errors import ProgramError, StreamExhausted
 from .block import BasicBlock
 from .program import Program
 
-__all__ = ["BlockEvent", "ProgramStream"]
+__all__ = ["BlockEvent", "BlockRun", "ProgramStream"]
 
 
 class BlockEvent(NamedTuple):
@@ -36,6 +36,62 @@ class BlockEvent(NamedTuple):
     block: BasicBlock
     taken: bool
     k: int
+
+
+class BlockRun(NamedTuple):
+    """A run-length record: *n* back-to-back executions of one block.
+
+    Produced by :meth:`ProgramStream.next_events`.  A run never spans an
+    entry boundary, so the branch-outcome pattern is fully determined by
+    two fields: for loop-controlled blocks (``random_taken_prob is None``)
+    every outcome is taken except, when *ends_entry* is true, the final
+    one; for random-branch blocks the per-event draws are carried in
+    *takens* verbatim, in RNG order.
+
+    Attributes:
+        block: the static block executed *n* times.
+        n: number of consecutive executions (>= 1).
+        k_start: the block's execution count before the first execution;
+            event ``i`` of the run has ``k = k_start + i``.
+        ends_entry: True when the run's last event is the final iteration
+            of its behaviour entry (the loop exit).
+        takens: per-event branch outcomes for random-branch blocks;
+            ``None`` for loop-controlled blocks.
+    """
+
+    block: BasicBlock
+    n: int
+    k_start: int
+    ends_entry: bool
+    takens: Optional[Tuple[bool, ...]] = None
+
+    @property
+    def ops(self) -> int:
+        """Total operations in the run."""
+        return self.n * self.block.n_ops
+
+    @property
+    def last_taken(self) -> int:
+        """Index of the run's last taken outcome, or -1 if none is taken."""
+        if self.takens is not None:
+            for i in range(self.n - 1, -1, -1):
+                if self.takens[i]:
+                    return i
+            return -1
+        return self.n - 2 if self.ends_entry else self.n - 1
+
+    def taken_at(self, i: int) -> bool:
+        """Branch outcome of event *i* (0-based) of the run."""
+        if self.takens is not None:
+            return self.takens[i]
+        return i < self.n - 1 or not self.ends_entry
+
+    def events(self) -> Iterator[BlockEvent]:
+        """Expand the run back into its scalar :class:`BlockEvent` form."""
+        block = self.block
+        k_start = self.k_start
+        for i in range(self.n):
+            yield BlockEvent(block, self.taken_at(i), k_start + i)
 
 
 class ProgramStream:
@@ -92,17 +148,84 @@ class ProgramStream:
 
         # Advance the phase script when the segment budget expires.
         if self._seg_ops_left <= 0:
-            self._seg_index += 1
-            if self._seg_index >= len(self.program.script):
-                self._done = True
-            else:
-                segment = self.program.script[self._seg_index]
-                self._seg_ops_left = segment.ops
-                self._behavior = self.program.behaviors[segment.behavior]
-                self._entry_index = 0
-                self._iters_left = self._behavior.resolve_iters(0, self._rng)
+            self._advance_segment()
 
         return BlockEvent(block, taken, k)
+
+    def _advance_segment(self) -> None:
+        """Move to the next phase-script segment (or finish the stream)."""
+        self._seg_index += 1
+        if self._seg_index >= len(self.program.script):
+            self._done = True
+        else:
+            segment = self.program.script[self._seg_index]
+            self._seg_ops_left = segment.ops
+            self._behavior = self.program.behaviors[segment.behavior]
+            self._entry_index = 0
+            self._iters_left = self._behavior.resolve_iters(0, self._rng)
+
+    def next_events(self, max_ops: int) -> List[BlockRun]:
+        """Advance the stream by at least *max_ops* ops in closed form.
+
+        The batched equivalent of calling :meth:`next_event` until the op
+        budget is crossed: deterministic loop iterations collapse into
+        :class:`BlockRun` run-length records with the execution counters,
+        op counts and segment budget updated arithmetically, while
+        random-branch blocks draw from the RNG once per event in exactly
+        the scalar order.  The stream therefore lands in a byte-identical
+        state (:meth:`snapshot` compares equal) to a scalar walk over the
+        same budget, and expanding the runs with :meth:`BlockRun.events`
+        reproduces the scalar event sequence exactly.
+
+        Stops early (returning fewer ops) when the script ends.  Returns
+        an empty list if *max_ops* is not positive or the stream is
+        already exhausted.
+        """
+        runs: List[BlockRun] = []
+        if max_ops <= 0 or self._done:
+            return runs
+        goal = self.ops_emitted + max_ops
+        rng = self._rng
+        exec_counts = self._exec_counts
+        while not self._done and self.ops_emitted < goal:
+            behavior = self._behavior
+            block = behavior.entry_block(self._entry_index)
+            n_ops = block.n_ops
+            iters = self._iters_left
+            # The scalar loop checks its budgets *after* each event, so
+            # both the batch goal and the segment budget are crossed by
+            # the event that reaches them: ceil-divide the remainders.
+            by_budget = -((self.ops_emitted - goal) // n_ops)
+            by_segment = -(-self._seg_ops_left // n_ops)
+            n = min(iters, by_budget, by_segment)
+            ends_entry = n == iters
+
+            takens: Optional[Tuple[bool, ...]] = None
+            prob = block.random_taken_prob
+            if prob is not None:
+                # One draw per event, in the scalar order (no other draw
+                # can interleave before the entry boundary).
+                takens = tuple(rng.random() < prob for _ in range(n))
+
+            k_start = exec_counts[block.bid]
+            exec_counts[block.bid] = k_start + n
+            total = n * n_ops
+            self.ops_emitted += total
+            self._seg_ops_left -= total
+            runs.append(BlockRun(block, n, k_start, ends_entry, takens))
+
+            if ends_entry:
+                # Scalar order: the entry advance resolves the next
+                # entry's iteration count *before* any segment switch.
+                self._entry_index += 1
+                if self._entry_index >= behavior.n_entries():
+                    self._entry_index = 0
+                self._iters_left = behavior.resolve_iters(self._entry_index, rng)
+            else:
+                self._iters_left = iters - n
+            if self._seg_ops_left <= 0:
+                self._advance_segment()
+        return runs
 
     def __iter__(self) -> Iterator[BlockEvent]:
         return self
@@ -128,7 +251,10 @@ class ProgramStream:
 
         Raises:
             StreamExhausted: if the stream ends before *n_ops* ops are
-                available.
+                available.  The events consumed up to that point have
+                already been taken off the stream; they are attached to
+                the exception as ``partial`` so callers can still use
+                (or account for) them.
         """
         if n_ops <= 0:
             return []
@@ -138,7 +264,8 @@ class ProgramStream:
             event = self.next_event()
             if event is None:
                 raise StreamExhausted(
-                    f"needed {n_ops} ops, stream ended after {got}"
+                    f"needed {n_ops} ops, stream ended after {got}",
+                    partial=out,
                 )
             out.append(event)
             got += event.block.n_ops

@@ -18,7 +18,7 @@ surrounding literature uses heavily:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -134,15 +134,21 @@ class TraceStream:
             raise StopIteration
         return event
 
-    def take_ops(self, n_ops: int) -> list:
-        """Consume events totalling at least *n_ops* operations."""
-        out = []
+    def take_ops(self, n_ops: int) -> List[BlockEvent]:
+        """Consume events totalling at least *n_ops* operations.
+
+        Raises:
+            StreamExhausted: if the trace ends first; the events already
+                consumed ride along as ``partial``.
+        """
+        out: List[BlockEvent] = []
         got = 0
         while got < n_ops:
             event = self.next_event()
             if event is None:
                 raise StreamExhausted(
-                    f"needed {n_ops} ops, trace ended after {got}"
+                    f"needed {n_ops} ops, trace ended after {got}",
+                    partial=out,
                 )
             out.append(event)
             got += event.block.n_ops

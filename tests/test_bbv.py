@@ -11,12 +11,14 @@ from repro import BbvTracker, ReducedBbvHash, WideBbvHash
 from repro.bbv.vector import (
     angle_between,
     cosine_similarity,
+    l2_norm,
     l2_normalize,
     manhattan_distance,
 )
 from repro.errors import ConfigurationError
 from repro.isa import Instruction, Op
 from repro.program.block import BasicBlock
+from repro.program.stream import BlockRun
 
 
 def make_block(bid: int, address: int, n_ops: int = 8) -> BasicBlock:
@@ -176,7 +178,113 @@ class TestTracker:
         assert tracker.peek_vector().tolist() == reference
 
 
+def _runs_to_events(runs):
+    return [(run.block, taken) for run in runs for _, taken, _ in run.events()]
+
+
+def _random_runs(rng, blocks, n_runs):
+    """Generate a mixed batch of loop-style and random-branch runs."""
+    runs = []
+    ks = {}
+    for _ in range(n_runs):
+        block = rng.choice(blocks)
+        n = rng.randint(1, 9)
+        k = ks.get(block.bid, 0)
+        ks[block.bid] = k + n
+        if rng.random() < 0.5:
+            runs.append(BlockRun(block, n, k, rng.random() < 0.7, None))
+        else:
+            takens = tuple(rng.random() < 0.6 for _ in range(n))
+            runs.append(BlockRun(block, n, k, False, takens))
+    return runs
+
+
+class TestRecordBatch:
+    def test_matches_scalar_record(self):
+        """Oracle: record_batch equals per-event record, bit for bit."""
+        import random
+
+        rng = random.Random(4242)
+        blocks = [make_block(i, 0x1000 + i * 0x1234, n_ops=3 + i) for i in range(7)]
+        for trial in range(20):
+            runs = _random_runs(rng, blocks, rng.randint(1, 12))
+            scalar, batched = BbvTracker(), BbvTracker()
+            for block, taken in _runs_to_events(runs):
+                scalar.record(block, taken)
+            batched.record_batch(runs)
+            assert scalar.peek_vector().tolist() == batched.peek_vector().tolist()
+            assert scalar.total_ops == batched.total_ops
+            assert scalar._run_ops == batched._run_ops
+
+    def test_run_counter_carries_across_batches(self):
+        """The ops-since-last-taken counter survives batch boundaries."""
+        import random
+
+        rng = random.Random(99)
+        blocks = [make_block(i, 0x2000 + i * 0x890, n_ops=5) for i in range(4)]
+        scalar, batched = BbvTracker(), BbvTracker()
+        for _ in range(6):
+            runs = _random_runs(rng, blocks, 4)
+            for block, taken in _runs_to_events(runs):
+                scalar.record(block, taken)
+            batched.record_batch(runs)
+        assert scalar.peek_vector().tolist() == batched.peek_vector().tolist()
+        assert scalar._run_ops == batched._run_ops
+
+    def test_empty_batch_is_noop(self):
+        tracker = BbvTracker()
+        tracker.record_batch([])
+        assert tracker.total_ops == 0
+        assert tracker.peek_vector().sum() == 0
+
+    def test_all_untaken_batch_accumulates_run_ops(self):
+        tracker = BbvTracker()
+        block = make_block(0, 0x1000, n_ops=8)
+        takens = (False, False, False)
+        tracker.record_batch([BlockRun(block, 3, 0, False, takens)])
+        assert tracker.total_ops == 24
+        assert tracker.peek_vector().sum() == 0
+        assert tracker._run_ops == 24
+
+    def test_interleaves_with_scalar_record(self):
+        """Mixing the two entry points keeps one consistent state."""
+        a = make_block(0, 0x1000, n_ops=8)
+        b = make_block(1, 0x4000, n_ops=6)
+        tracker = BbvTracker()
+        tracker.record(a, taken=False)
+        tracker.record_batch([BlockRun(b, 1, 0, False, (True,))])
+        vec = tracker.take_vector(normalize=False)
+        assert vec[tracker.bucket_for(b)] == 14
+        assert vec.sum() == 14
+
+    def test_works_with_wide_hash(self):
+        tracker = BbvTracker(WideBbvHash(128))
+        block = make_block(0, 0x1000, n_ops=8)
+        tracker.record_batch([BlockRun(block, 4, 0, True, None)])
+        vec = tracker.take_vector(normalize=False)
+        assert vec[tracker.bucket_for(block)] == 24  # 3 taken iterations
+        assert tracker.total_ops == 32
+
+
+class TestBatchHashes:
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_reduced_batch_matches_scalar(self, addresses):
+        h = ReducedBbvHash(seed=7)
+        assert h.batch(np.array(addresses)).tolist() == [h(a) for a in addresses]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_wide_batch_matches_scalar(self, addresses):
+        h = WideBbvHash(n_buckets=1024)
+        assert h.batch(np.array(addresses)).tolist() == [h(a) for a in addresses]
+
+
 class TestVectorMath:
+    def test_l2_norm(self):
+        assert l2_norm([3.0, 4.0]) == pytest.approx(5.0)
+        assert l2_norm([0.0, 0.0]) == 0.0
+
     def test_normalize_unit_norm(self):
         vec = l2_normalize([3.0, 4.0])
         assert np.linalg.norm(vec) == pytest.approx(1.0)

@@ -211,3 +211,50 @@ class TestCheckpointing:
             store.restore_nearest(fresh, offset)
             reordered.append(fresh.run(Mode.DETAIL, 1_000).cycles)
         assert sequential == list(reversed(reordered))
+
+
+class TestBatchedDispatch:
+    def test_auto_detect_uses_batched_path(self, two_phase_program):
+        engine = SimulationEngine(two_phase_program)
+        assert engine.batched is None
+        tracker = BbvTracker()
+        assert engine._batching(tracker)
+        assert engine._batching(None)
+
+    def test_batched_false_forces_scalar(self, two_phase_program):
+        engine = SimulationEngine(two_phase_program, batched=False)
+        assert not engine._batching(None)
+        run = engine.run(Mode.FUNC_FAST, 5_000)
+        assert run.ops >= 5_000
+
+    def test_batched_true_requires_capable_stream(self, two_phase_program):
+        from repro.program.trace_io import record_trace
+
+        trace = record_trace(two_phase_program, max_ops=20_000)
+        replay = trace.as_stream(two_phase_program)
+        with pytest.raises(ConfigurationError):
+            SimulationEngine(two_phase_program, stream=replay, batched=True)
+
+    def test_trace_stream_falls_back_to_scalar(self, two_phase_program):
+        """A replayed trace has no next_events; the engine silently uses
+        the scalar loop and still matches the live-stream result."""
+        from repro.program.trace_io import record_trace
+
+        trace = record_trace(two_phase_program, max_ops=20_000)
+        replay = trace.as_stream(two_phase_program)
+        tracker = BbvTracker()
+        engine = SimulationEngine(two_phase_program, stream=replay, bbv_tracker=tracker)
+        assert not engine._batching(tracker)
+        run = engine.run(Mode.FUNC_FAST, 10_000)
+        assert run.ops >= 10_000
+
+        live_tracker = BbvTracker()
+        live = SimulationEngine(two_phase_program, bbv_tracker=live_tracker)
+        live.run(Mode.FUNC_FAST, 10_000)
+        assert tracker.peek_vector().tolist() == live_tracker.peek_vector().tolist()
+
+    def test_batched_func_fast_touches_nothing(self, two_phase_program):
+        engine = SimulationEngine(two_phase_program, batched=True)
+        engine.run(Mode.FUNC_FAST, 30_000)
+        assert engine.hierarchy.l1d.stats.accesses == 0
+        assert engine.predictor.stats.predictions == 0

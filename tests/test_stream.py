@@ -70,9 +70,90 @@ class TestStreamBasics:
         with pytest.raises(StreamExhausted):
             stream.take_ops(10_000_000)
 
+    def test_take_ops_exhaustion_attaches_partial_batch(self, two_phase_program):
+        """The events consumed before exhaustion are not silently lost:
+        they ride along on the exception as ``partial``."""
+        stream = ProgramStream(two_phase_program)
+        with pytest.raises(StreamExhausted) as excinfo:
+            stream.take_ops(10_000_000)
+        partial = excinfo.value.partial
+        assert partial, "the whole program should have been consumed"
+        assert sum(e.block.n_ops for e in partial) == stream.ops_emitted
+        # The partial batch is the full scalar event sequence.
+        replay = list(ProgramStream(two_phase_program))
+        assert list(partial) == replay
+
     def test_take_ops_zero(self, two_phase_program):
         stream = ProgramStream(two_phase_program)
         assert stream.take_ops(0) == []
+
+
+class TestStreamBatched:
+    def test_next_events_totals_and_counters(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        runs = stream.next_events(10_000)
+        total = sum(r.ops for r in runs)
+        assert total == stream.ops_emitted
+        assert 10_000 <= total <= 10_000 + 24
+        # Execution counters advanced arithmetically: k ranges abut.
+        seen = {}
+        for run in runs:
+            assert run.k_start == seen.get(run.block.bid, 0)
+            seen[run.block.bid] = run.k_start + run.n
+
+    def test_loop_run_branch_pattern(self, two_phase_program):
+        """A full entry visit is taken on every iteration except the last."""
+        stream = ProgramStream(two_phase_program)
+        run = stream.next_events(10_000)[0]
+        assert run.ends_entry
+        takens = [run.taken_at(i) for i in range(run.n)]
+        assert takens == [True] * (run.n - 1) + [False]
+        assert run.last_taken == run.n - 2
+
+    def test_truncated_run_is_all_taken(self, two_phase_program):
+        """A batch boundary mid-entry leaves the loop branch taken."""
+        stream = ProgramStream(two_phase_program)
+        first = stream.next_events(10_000)[0]
+        fresh = ProgramStream(two_phase_program)
+        cut = fresh.next_events((first.n - 1) * first.block.n_ops - 1)[0]
+        assert not cut.ends_entry
+        assert cut.n < first.n
+        assert all(cut.taken_at(i) for i in range(cut.n))
+        assert cut.last_taken == cut.n - 1
+
+    def test_random_branch_runs_carry_draws(self):
+        program = get_workload("197.parser", Scale.QUICK)
+        stream = ProgramStream(program)
+        runs = stream.next_events(50_000)
+        random_runs = [r for r in runs if r.block.random_taken_prob is not None]
+        assert random_runs, "parser should contain random branches"
+        assert all(r.takens is not None and len(r.takens) == r.n for r in random_runs)
+        loop_runs = [r for r in runs if r.block.random_taken_prob is None]
+        assert all(r.takens is None for r in loop_runs)
+
+    def test_nonpositive_budget_returns_empty(self, two_phase_program):
+        stream = ProgramStream(two_phase_program)
+        assert stream.next_events(0) == []
+        assert stream.next_events(-5) == []
+        assert stream.ops_emitted == 0
+
+    def test_snapshot_restore_crosses_paths(self, two_phase_program):
+        """A snapshot taken after batched advance resumes scalar, and
+        vice versa — checkpoints are path-agnostic."""
+        batched = ProgramStream(two_phase_program)
+        batched.next_events(20_000)
+        snap = batched.snapshot()
+        scalar = ProgramStream(two_phase_program)
+        scalar.restore(snap)
+        tail_scalar = [(e.block.bid, e.taken, e.k) for e in scalar]
+        resumed = ProgramStream(two_phase_program)
+        resumed.restore(snap)
+        tail_batched = [
+            (e.block.bid, e.taken, e.k)
+            for run in resumed.next_events(10**9)
+            for e in run.events()
+        ]
+        assert tail_scalar == tail_batched
 
 
 class TestStreamSnapshot:
