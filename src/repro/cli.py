@@ -6,6 +6,7 @@ Subcommands::
     pgss-sim simulate 164.gzip         # full-detail run of one benchmark
     pgss-sim sample 164.gzip -t pgss   # one sampling technique
     pgss-sim figure 12                 # regenerate one paper figure
+    pgss-sim run-all --jobs 4          # every figure, cells fanned out
     pgss-sim rates                     # per-mode simulation rates
     pgss-sim clear-cache               # drop cached experiment results
 
@@ -87,6 +88,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "-o", "--output", default=None, help="write the report to a file"
+    )
+
+    p_runall = sub.add_parser(
+        "run-all",
+        help="run every figure's experiment cells (optionally in "
+        "parallel), then assemble the full report",
+    )
+    p_runall.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the cell fan-out (default: 1 = serial; "
+        "results are byte-identical for any job count)",
+    )
+    p_runall.add_argument(
+        "--figures",
+        default=None,
+        help="comma-separated figure ids to run (e.g. '2,11,ext-tradeoff'; "
+        "default: all)",
+    )
+    p_runall.add_argument(
+        "-o", "--output", default=None, help="write the report to a file"
+    )
+    p_runall.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
 
     sub.add_parser("rates", help="measure per-mode simulation rates")
@@ -211,6 +238,76 @@ def _cmd_report(scale: ScaleConfig, output: Optional[str]) -> int:
     return 0
 
 
+def _cmd_run_all(
+    scale: ScaleConfig,
+    jobs: int,
+    figures: Optional[str],
+    output: Optional[str],
+    quiet: bool,
+) -> int:
+    from .experiments import ExperimentContext, enumerate_cells, run_cells
+    from .experiments.report import FIGURE_MODULES, generate_report
+
+    aliases = {number: module for number, module in FIGURE_MODULES}
+    # "6" and "7" are one combined figure; accept either spelling.
+    aliases["6"] = aliases["7"] = aliases["6/7"]
+
+    numbers: Optional[list] = None
+    modules: Optional[list] = None
+    if figures:
+        wanted = [item.strip() for item in figures.split(",") if item.strip()]
+        unknown = sorted(set(wanted) - set(aliases))
+        if unknown:
+            print(
+                f"unknown figure id(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(number for number, _ in FIGURE_MODULES)})",
+                file=sys.stderr,
+            )
+            return 2
+        numbers = []
+        modules = []
+        for item in wanted:
+            module = aliases[item]
+            number = next(n for n, m in FIGURE_MODULES if m == module)
+            if module not in modules:
+                modules.append(module)
+                numbers.append(number)
+
+    ctx = ExperimentContext(scale)
+    cells = enumerate_cells(ctx, figures=modules)
+    progress = (
+        None
+        if quiet
+        else lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    outcomes = run_cells(ctx, cells, jobs=jobs, progress=progress)
+    failed = [o for o in outcomes if o.status != "ok"]
+    for outcome in failed:
+        print(
+            f"cell {outcome.cell.cell_id} failed after {outcome.attempts} "
+            f"attempt(s): {outcome.status}: {outcome.error}",
+            file=sys.stderr,
+        )
+    if failed:
+        print(f"{len(failed)}/{len(outcomes)} cells failed", file=sys.stderr)
+        return 1
+
+    text = generate_report(ctx, figures=numbers)
+    if output:
+        with open(output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {output}")
+    else:
+        print(text)
+    stats = ctx.cache.stats()
+    print(
+        f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['races']} races, {stats['corrupt']} corrupt entries",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_rates(scale: ScaleConfig) -> int:
     from .experiments import ExperimentContext
     from .experiments.fig13_simulation_time import measure_rates
@@ -262,6 +359,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure(scale, args.number)
     if args.command == "report":
         return _cmd_report(scale, args.output)
+    if args.command == "run-all":
+        return _cmd_run_all(
+            scale, args.jobs, args.figures, args.output, args.quiet
+        )
     if args.command == "rates":
         return _cmd_rates(scale)
     if args.command == "calibrate":

@@ -18,6 +18,8 @@ __all__ = [
     "StreamExhausted",
     "SamplingError",
     "ClusteringError",
+    "CacheError",
+    "OrchestrationError",
 ]
 
 
@@ -64,3 +66,16 @@ class SamplingError(ReproError):
 
 class ClusteringError(ReproError):
     """k-means clustering could not be performed on the given data."""
+
+
+class CacheError(ReproError):
+    """A result-cache payload or on-disk entry is unusable.
+
+    Raised when a cache key payload contains values that cannot be
+    serialised to JSON losslessly (silently stringifying them could
+    collapse distinct configurations onto one key).
+    """
+
+
+class OrchestrationError(ReproError):
+    """The parallel experiment driver was configured or driven incorrectly."""

@@ -5,14 +5,32 @@ tables).  Each ``figNN_*`` module exposes:
 
 * ``run(ctx)`` — compute the figure's data, returning a plain dict;
 * ``format_result(result)`` — render the same rows/series the paper
-  reports, as text.
+  reports, as text;
+* ``cells(ctx)`` — the figure's independent cacheable work units, for
+  the parallel driver (plus ``run_cell`` where the units are more than
+  trace warming).
 
 All experiments share an :class:`ExperimentContext`, which owns the scale
 configuration and an on-disk result cache (reference traces are expensive;
-one full-detail pass per benchmark powers many figures).
+one full-detail pass per benchmark powers many figures).  The cache is
+safe for concurrent writers, so independent cells can be fanned out over
+worker processes with :class:`ParallelRunner` / :func:`run_cells`
+(``pgss-sim run-all --jobs N``).
 """
 
-from .runner import ExperimentContext
 from .cache import ResultCache
+from .cells import ExperimentCell, enumerate_cells, run_cell, trace_cell
+from .parallel import CellOutcome, ParallelRunner, run_cells
+from .runner import ExperimentContext
 
-__all__ = ["ExperimentContext", "ResultCache"]
+__all__ = [
+    "ExperimentContext",
+    "ResultCache",
+    "ExperimentCell",
+    "CellOutcome",
+    "ParallelRunner",
+    "enumerate_cells",
+    "run_cell",
+    "run_cells",
+    "trace_cell",
+]

@@ -5,6 +5,19 @@ are deterministic given their configuration, so they are cached under a
 key derived from the configuration.  The cache directory defaults to
 ``<repo>/.expcache`` and can be overridden with the ``REPRO_CACHE_DIR``
 environment variable; delete the directory to force recomputation.
+
+The cache is safe for concurrent writers across processes:
+
+* every entry is published with a write-to-unique-tmp + ``os.replace``
+  sequence, so readers only ever observe absent or complete files;
+* a ``<key>.<ext>.claim`` file (created with ``O_EXCL``) suppresses
+  duplicate work — the first writer computes while the others wait for
+  the published entry, stealing the claim only if its holder died;
+* unreadable entries (torn by a crash predating this scheme, or damaged
+  on disk) are quarantined to ``<key>.<ext>.corrupt`` and recomputed
+  instead of poisoning every later read;
+* per-instance ``hits`` / ``misses`` / ``races`` / ``corrupt`` counters
+  make the behaviour observable (see :meth:`ResultCache.stats`).
 """
 
 from __future__ import annotations
@@ -12,16 +25,32 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+import uuid
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, TypeVar
 
+from ..errors import CacheError
 from ..sampling.full import ReferenceTrace
 
 __all__ = ["ResultCache"]
 
+T = TypeVar("T")
+
 #: Bump when a change invalidates previously cached results (simulator
 #: timing semantics, workload definitions, estimators).
 CACHE_VERSION = 7
+
+#: How long a reader waits on another process's claim before giving up
+#: and computing the entry itself (results are deterministic, so a
+#: duplicated computation publishes identical bytes).
+_CLAIM_WAIT_S = 600.0
+
+#: Poll interval while waiting on a peer's claim.
+_CLAIM_POLL_S = 0.05
+
+#: File suffixes the cache may leave in its directory.
+_CACHE_SUFFIXES = (".json", ".npz", ".tmp", ".claim", ".corrupt")
 
 
 def _default_cache_dir() -> Path:
@@ -29,6 +58,14 @@ def _default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / ".expcache"
+
+
+def _reject_unserializable(obj: Any) -> Any:
+    raise CacheError(
+        f"cache payload value {obj!r} of type {type(obj).__name__} is not "
+        "JSON-serialisable; convert it explicitly before keying (silently "
+        "stringifying could collapse distinct configurations onto one key)"
+    )
 
 
 class ResultCache:
@@ -39,12 +76,40 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Times this instance found another writer working on its key.
+        self.races = 0
+        #: Unreadable entries quarantined and recomputed.
+        self.corrupt = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits, misses, races, corrupt."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "races": self.races,
+            "corrupt": self.corrupt,
+        }
 
     def key(self, payload: Dict[str, Any]) -> str:
-        """Stable hash of a JSON-able payload plus the cache version."""
-        material = json.dumps(
-            {"v": CACHE_VERSION, **payload}, sort_keys=True, default=str
-        )
+        """Stable hash of a JSON-able payload plus the cache version.
+
+        Raises:
+            CacheError: if the payload contains values that JSON cannot
+                represent (they would otherwise be stringified, which can
+                merge distinct configurations into one key).
+        """
+        try:
+            material = json.dumps(
+                {"v": CACHE_VERSION, **payload},
+                sort_keys=True,
+                default=_reject_unserializable,
+            )
+        except (TypeError, ValueError) as exc:
+            # Non-string dict keys and circular references surface as
+            # TypeError/ValueError without consulting ``default``.
+            if isinstance(exc, CacheError):
+                raise
+            raise CacheError(f"cache payload is not JSON-serialisable: {exc}") from exc
         return hashlib.sha256(material.encode()).hexdigest()[:24]
 
     def json(
@@ -52,36 +117,182 @@ class ResultCache:
     ) -> Dict[str, Any]:
         """Return the cached result for *payload*, computing it on a miss."""
         path = self.directory / f"{self.key(payload)}.json"
-        if path.exists():
-            self.hits += 1
-            with path.open() as fh:
-                return json.load(fh)
-        self.misses += 1
-        result = compute()
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("w") as fh:
-            json.dump(result, fh)
-        tmp.replace(path)
-        return result
+        return self._get(path, _load_json, _dump_json, compute)
 
     def trace(
         self, payload: Dict[str, Any], compute: Callable[[], ReferenceTrace]
     ) -> ReferenceTrace:
         """Return the cached reference trace for *payload*."""
         path = self.directory / f"{self.key(payload)}.npz"
-        if path.exists():
-            self.hits += 1
-            return ReferenceTrace.load(path)
-        self.misses += 1
-        trace = compute()
-        trace.save(path)
-        return trace
+        return self._get(path, _load_trace, _dump_trace, compute)
 
     def clear(self) -> int:
-        """Delete every cached file; returns the number removed."""
+        """Delete every cache-owned file (entries, tmp, claim, quarantine).
+
+        Returns the number of files removed.  Sweeping ``.tmp`` and
+        ``.claim`` files keeps leftovers from interrupted runs from
+        accumulating forever.
+        """
         removed = 0
-        for path in self.directory.glob("*"):
-            if path.suffix in (".json", ".npz"):
-                path.unlink()
+        for path in sorted(self.directory.glob("*")):
+            if path.suffix in _CACHE_SUFFIXES:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
                 removed += 1
         return removed
+
+    # ------------------------------------------------------------------
+    # Concurrency-safe get-or-compute machinery.
+
+    def _get(
+        self,
+        path: Path,
+        load: Callable[[Path], T],
+        dump: Callable[[T, Path], None],
+        compute: Callable[[], T],
+    ) -> T:
+        value = self._load(path, load)
+        if value is not None:
+            self.hits += 1
+            return value
+
+        claim = path.with_name(path.name + ".claim")
+        claimed = self._try_claim(claim)
+        if not claimed:
+            # Another process is computing this key right now: wait for
+            # its published entry instead of duplicating the work.
+            self.races += 1
+            value = self._wait_for_peer(path, claim, load)
+            if value is not None:
+                self.hits += 1
+                return value
+            # The peer crashed, stalled past the deadline, or published a
+            # corrupt entry — compute ourselves (claim is best-effort now;
+            # a duplicated deterministic computation is harmless because
+            # publication is atomic).
+            claimed = self._try_claim(claim)
+
+        self.misses += 1
+        tmp = self._tmp_path(path)
+        try:
+            result = compute()
+            dump(result, tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            if claimed:
+                self._release_claim(claim)
+        return result
+
+    def _load(self, path: Path, load: Callable[[Path], T]) -> Optional[T]:
+        """Load an entry; quarantine and miss on a corrupted file."""
+        if not path.exists():
+            return None
+        try:
+            return load(path)
+        except Exception:
+            # Anything unreadable — torn writes predating atomic
+            # publication, bad blocks, schema drift — is moved aside so
+            # the entry is recomputed instead of failing forever.
+            self.corrupt += 1
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _tmp_path(self, path: Path) -> Path:
+        """A tmp name unique per writer (pid + random token)."""
+        token = uuid.uuid4().hex[:8]
+        return path.with_name(f"{path.name}.{os.getpid()}.{token}.tmp")
+
+    def _try_claim(self, claim: Path) -> bool:
+        """Atomically create *claim*; False if another writer holds it."""
+        try:
+            fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Filesystem without O_EXCL semantics or other failure: skip
+            # duplicate suppression rather than blocking the computation.
+            return True
+        with os.fdopen(fd, "w") as fh:
+            fh.write(str(os.getpid()))
+        return True
+
+    def _release_claim(self, claim: Path) -> None:
+        try:
+            claim.unlink()
+        except OSError:
+            pass
+
+    @staticmethod
+    def _claim_holder_alive(claim: Path) -> bool:
+        try:
+            pid = int(claim.read_text().strip() or "0")
+        except (OSError, ValueError):
+            return False
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except OSError:
+            return True  # e.g. EPERM: alive but owned by another user
+        return True
+
+    def _wait_for_peer(
+        self, path: Path, claim: Path, load: Callable[[Path], T]
+    ) -> Optional[T]:
+        """Wait for the claim holder to publish; None if we must compute."""
+        # Host timing bounds how long we wait on a peer process; it never
+        # influences simulated state.
+        deadline = time.monotonic() + _CLAIM_WAIT_S  # simlint: disable=DET005
+        while True:
+            if path.exists():
+                return self._load(path, load)
+            if not claim.exists():
+                # Holder finished without publishing (crashed mid-compute
+                # or its entry was quarantined): our turn.
+                return None
+            if not self._claim_holder_alive(claim):
+                self._release_claim(claim)  # steal the stale claim
+                return None
+            if time.monotonic() >= deadline:  # simlint: disable=DET005
+                return None
+            time.sleep(_CLAIM_POLL_S)
+
+
+def _load_json(path: Path) -> Dict[str, Any]:
+    with path.open() as fh:
+        value = json.load(fh)
+    if not isinstance(value, dict):
+        raise CacheError(f"cache entry {path.name} is not a JSON object")
+    return value
+
+
+def _dump_json(result: Dict[str, Any], tmp: Path) -> None:
+    with tmp.open("w") as fh:
+        json.dump(result, fh)
+
+
+def _load_trace(path: Path) -> ReferenceTrace:
+    return ReferenceTrace.load(path)
+
+
+def _dump_trace(trace: ReferenceTrace, tmp: Path) -> None:
+    trace.save(tmp)

@@ -1,0 +1,135 @@
+"""Experiment cells: the unit of work shared by the serial and parallel drivers.
+
+A *cell* is one independent, deterministic, cacheable computation — a
+(figure, benchmark, parameters) triple such as "fig11, 164.gzip, period
+20k at .05 pi".  Figure modules enumerate their cells via a module-level
+``cells(ctx)`` hook and execute a single one via ``run_cell(ctx,
+benchmark, params)``; the serial figure ``run()`` functions are built on
+the same per-cell units, so either driver produces byte-identical cache
+entries.
+
+Cells publish exclusively through the concurrency-safe
+:class:`~repro.experiments.cache.ResultCache`; running a cell returns
+nothing of interest to the driver.  That is what makes the fan-out
+trivially correct: the parallel driver only *warms the cache*, and the
+figure assembly afterwards is always the same serial code reading pure
+hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import OrchestrationError
+from .runner import ExperimentContext
+
+__all__ = [
+    "ExperimentCell",
+    "TRACE_FIGURE",
+    "trace_cell",
+    "run_cell",
+    "enumerate_cells",
+]
+
+#: Pseudo-figure naming the reference-trace warming cells every offline
+#: analysis shares; keeping one canonical spelling lets the enumerator
+#: deduplicate them across figure modules.
+TRACE_FIGURE = "trace"
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One independent, cacheable (figure, benchmark, params) work unit.
+
+    Attributes:
+        figure: experiments module basename (e.g. ``fig11_pgss_sweep``),
+            or :data:`TRACE_FIGURE` for reference-trace warming.
+        benchmark: workload name the cell operates on.
+        params: sorted ``(name, value)`` pairs configuring the cell;
+            kept as a tuple so cells are hashable and picklable.
+    """
+
+    figure: str
+    benchmark: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(figure: str, benchmark: str, **params: Any) -> "ExperimentCell":
+        """Build a cell with keyword parameters (sorted for stability)."""
+        return ExperimentCell(figure, benchmark, tuple(sorted(params.items())))
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identity, e.g. ``fig11/164.gzip[period=4000]``."""
+        kv = ",".join(f"{k}={v}" for k, v in self.params)
+        suffix = f"[{kv}]" if kv else ""
+        return f"{self.figure}/{self.benchmark}{suffix}"
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-cell seed derived from the cell identity.
+
+        Every current cell is already a pure function of its configured
+        seeds, but stochastic units (e.g. replicated-sampling studies)
+        should draw their randomness from this value so results stay
+        independent of scheduling order and worker assignment.
+        """
+        digest = hashlib.sha256(self.cell_id.encode()).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    def kwargs(self) -> Dict[str, Any]:
+        """The parameters as a plain dict."""
+        return dict(self.params)
+
+
+def trace_cell(benchmark: str) -> ExperimentCell:
+    """The cell that warms *benchmark*'s cached reference trace."""
+    return ExperimentCell(TRACE_FIGURE, benchmark)
+
+
+def run_cell(ctx: ExperimentContext, cell: ExperimentCell) -> Any:
+    """Execute one cell against *ctx* — identical for both drivers.
+
+    The only observable effect is cache warming; the return value exists
+    for in-process callers and is never shipped between processes.
+    """
+    if cell.figure == TRACE_FIGURE:
+        return ctx.trace(cell.benchmark)
+    module = importlib.import_module(f".{cell.figure}", __package__)
+    runner = getattr(module, "run_cell", None)
+    if runner is None:
+        raise OrchestrationError(
+            f"figure module {cell.figure!r} does not define run_cell()"
+        )
+    return runner(ctx, cell.benchmark, cell.kwargs())
+
+
+def enumerate_cells(
+    ctx: ExperimentContext, figures: Optional[Sequence[str]] = None
+) -> List[ExperimentCell]:
+    """All cells of the selected figure modules, deduplicated in order.
+
+    Args:
+        ctx: experiment context (supplies the benchmark list and scale).
+        figures: experiments module basenames; defaults to every module
+            in the report's presentation order.
+    """
+    if figures is None:
+        from .report import FIGURE_MODULES
+
+        figures = [module for _, module in FIGURE_MODULES]
+    seen = set()
+    out: List[ExperimentCell] = []
+    for name in figures:
+        module = importlib.import_module(f".{name}", __package__)
+        cells_fn = getattr(module, "cells", None)
+        if cells_fn is None:
+            continue
+        for cell in cells_fn(ctx):
+            if cell not in seen:
+                seen.add(cell)
+                out.append(cell)
+    return out

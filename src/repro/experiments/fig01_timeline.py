@@ -16,9 +16,10 @@ from ..cpu import SimulationEngine
 from ..sampling.pgss import Pgss, PgssConfig, PgssController
 from ..sampling.simpoint import SimPoint, SimPointConfig
 from ..sampling.smarts import Smarts, SmartsConfig
+from .cells import ExperimentCell, trace_cell
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "BENCHMARK", "TIMELINE_COLS"]
+__all__ = ["run", "format_result", "cells", "BENCHMARK", "TIMELINE_COLS"]
 
 BENCHMARK = "183.equake"
 TIMELINE_COLS = 96
@@ -55,6 +56,11 @@ def _phase_line(ctx: ExperimentContext, benchmark: str, total_ops: int) -> str:
         op = int((col + 0.5) / TIMELINE_COLS * total_ops)
         line.append(letters[program.true_phase_at(op)])
     return "".join(line), {letters[n]: n for n in names}
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """Cacheable units: the subject benchmark's reference trace."""
+    return [trace_cell(BENCHMARK)]
 
 
 def run(ctx: ExperimentContext, benchmark: str = BENCHMARK) -> Dict[str, Any]:

@@ -17,16 +17,22 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from .cells import ExperimentCell, trace_cell
 from .formatting import fmt_ops, table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "BENCHMARK"]
+__all__ = ["run", "format_result", "cells", "BENCHMARK"]
 
 BENCHMARK = "164.gzip"
 
 #: Multiples of the trace window forming the period ladder (1x .. 125x,
 #: mirroring the paper's 100k .. 100M three-decade sweep).
 PERIOD_FACTORS = (1, 5, 25, 125)
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """Cacheable units: the subject benchmark's reference trace."""
+    return [trace_cell(BENCHMARK)]
 
 
 def run(ctx: ExperimentContext, benchmark: str = BENCHMARK) -> Dict[str, Any]:

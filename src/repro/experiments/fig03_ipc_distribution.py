@@ -10,15 +10,16 @@ and a smoothed-histogram mode count.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..stats.distributions import bimodality_coefficient, histogram, modality_peaks
+from .cells import ExperimentCell, trace_cell
 from .formatting import table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "BENCHMARK", "GAUSSIAN_BC", "UNIFORM_BC"]
+__all__ = ["run", "format_result", "cells", "BENCHMARK", "GAUSSIAN_BC", "UNIFORM_BC"]
 
 BENCHMARK = "168.wupwise"
 
@@ -26,6 +27,11 @@ BENCHMARK = "168.wupwise"
 #: distribution ~0.555; values above the uniform suggest polymodality.
 GAUSSIAN_BC = 1.0 / 3.0
 UNIFORM_BC = 0.555
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """Cacheable units: the subject benchmark's reference trace."""
+    return [trace_cell(BENCHMARK)]
 
 
 def run(ctx: ExperimentContext, benchmark: str = BENCHMARK, bins: int = 28) -> Dict[str, Any]:

@@ -20,10 +20,17 @@ from typing import Any, Dict, List
 import numpy as np
 
 from ..phase.threshold import ChangePair, consecutive_changes, region_counts
+from .cells import ExperimentCell, trace_cell
 from .formatting import table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "change_pairs_per_benchmark", "DEFAULT_PERIOD_FACTOR"]
+__all__ = [
+    "run",
+    "format_result",
+    "cells",
+    "change_pairs_per_benchmark",
+    "DEFAULT_PERIOD_FACTOR",
+]
 
 #: The analysis period as a multiple of the trace window (the paper uses
 #: its finest Fig.-11 period, 100k; scaled here to 4 windows = 20k).
@@ -32,6 +39,11 @@ DEFAULT_PERIOD_FACTOR = 4
 #: Reference thresholds for the Fig. 6 region accounting.
 REFERENCE_BBV_THRESHOLD_PI = 0.05
 REFERENCE_IPC_SIGMA = 0.3
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """Cacheable units: every benchmark's reference trace."""
+    return [trace_cell(name) for name in ctx.benchmarks]
 
 
 def change_pairs_per_benchmark(

@@ -14,17 +14,23 @@ from typing import Any, Dict, List
 import numpy as np
 
 from ..phase.threshold import detection_rate
+from .cells import ExperimentCell, trace_cell
 from .fig07_change_distribution import DEFAULT_PERIOD_FACTOR, change_pairs_per_benchmark
 from .formatting import table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "THRESHOLDS_PI", "SIGMA_LEVELS"]
+__all__ = ["run", "format_result", "cells", "THRESHOLDS_PI", "SIGMA_LEVELS"]
 
 #: Swept thresholds, as fractions of pi (the paper's x-axis spans 0-0.5).
 THRESHOLDS_PI = tuple(round(0.01 * i, 2) for i in range(0, 51, 2))
 
 #: IPC-significance levels in sigma units (the paper's five curves).
 SIGMA_LEVELS = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """Cacheable units: every benchmark's reference trace."""
+    return [trace_cell(name) for name in ctx.benchmarks]
 
 
 def run(

@@ -15,12 +15,18 @@ from typing import Any, Dict, List
 import numpy as np
 
 from ..phase.threshold import false_positive_rate
+from .cells import ExperimentCell, trace_cell
 from .fig07_change_distribution import DEFAULT_PERIOD_FACTOR, change_pairs_per_benchmark
 from .fig08_detection_rate import SIGMA_LEVELS, THRESHOLDS_PI
 from .formatting import table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result"]
+__all__ = ["run", "format_result", "cells"]
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """Cacheable units: every benchmark's reference trace."""
+    return [trace_cell(name) for name in ctx.benchmarks]
 
 
 def run(

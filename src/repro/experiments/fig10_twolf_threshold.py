@@ -13,16 +13,22 @@ import math
 from typing import Any, Dict, List
 
 from ..phase.threshold import phase_statistics
+from .cells import ExperimentCell, trace_cell
 from .fig07_change_distribution import DEFAULT_PERIOD_FACTOR
 from .formatting import fmt_ops, table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "BENCHMARK", "THRESHOLDS_PI"]
+__all__ = ["run", "format_result", "cells", "BENCHMARK", "THRESHOLDS_PI"]
 
 BENCHMARK = "300.twolf"
 
 #: Swept thresholds as fractions of pi (the paper's x-axis reaches pi/2).
 THRESHOLDS_PI = (0.0125, 0.025, 0.05, 0.075, 0.1, 0.15, 0.2, 0.25, 0.3, 0.375, 0.5)
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """Cacheable units: the subject benchmark's reference trace."""
+    return [trace_cell(BENCHMARK)]
 
 
 def run(

@@ -18,10 +18,11 @@ from typing import Any, Dict, List, Tuple
 
 from ..sampling.pgss import Pgss, PgssConfig
 from ..stats.errors_metrics import arithmetic_mean, geometric_mean
+from .cells import ExperimentCell, trace_cell
 from .formatting import fmt_ops, fmt_pct, table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "run_single", "best_configs"]
+__all__ = ["run", "format_result", "cells", "run_cell", "run_single", "best_configs"]
 
 
 def run_single(
@@ -49,6 +50,28 @@ def run_single(
         result["ipc_estimate"] - ctx.true_ipc(benchmark)
     ) / ctx.true_ipc(benchmark)
     return result
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """One cell per (benchmark, period, threshold) sweep point."""
+    out = [trace_cell(name) for name in ctx.benchmarks]
+    for period in ctx.scale.pgss_periods:
+        for threshold in ctx.scale.thresholds:
+            for benchmark in ctx.benchmarks:
+                out.append(
+                    ExperimentCell.make(
+                        "fig11_pgss_sweep",
+                        benchmark,
+                        period=period,
+                        threshold_pi=threshold,
+                    )
+                )
+    return out
+
+
+def run_cell(ctx: ExperimentContext, benchmark: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Parallel-driver entry: one cached PGSS sweep point."""
+    return run_single(ctx, benchmark, params["period"], params["threshold_pi"])
 
 
 def run(ctx: ExperimentContext) -> Dict[str, Any]:

@@ -23,16 +23,19 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List
 
+from ..errors import OrchestrationError
 from ..sampling.online_simpoint import OnlineSimPoint, OnlineSimPointConfig
 from ..sampling.simpoint import SimPoint, SimPointConfig
 from ..sampling.smarts import Smarts, SmartsConfig
 from ..sampling.turbosmarts import TurboSmarts, TurboSmartsConfig
 from ..stats.errors_metrics import arithmetic_mean, geometric_mean
+from .cells import ExperimentCell, trace_cell
+from .fig11_pgss_sweep import cells as fig11_cells
 from .fig11_pgss_sweep import run as run_fig11
 from .formatting import fmt_ops, fmt_pct, table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "OLSP_THRESHOLDS_PI"]
+__all__ = ["run", "format_result", "cells", "run_cell", "OLSP_THRESHOLDS_PI"]
 
 #: Online-SimPoint threshold grid (the paper tested "various thresholds").
 OLSP_THRESHOLDS_PI = (0.05, 0.10, 0.15)
@@ -81,6 +84,113 @@ def _simpoint_grid(ctx: ExperimentContext) -> List[SimPointConfig]:
     ]
 
 
+def _smarts_run(ctx: ExperimentContext, benchmark: str) -> Dict[str, Any]:
+    """One cached SMARTS run (the paper's canonical configuration)."""
+    cfg = SmartsConfig.from_scale(ctx.scale)
+    return ctx.run_cached(
+        benchmark, Smarts(cfg, ctx.machine), {"period": cfg.period_ops}
+    )
+
+
+def _turbo_run(ctx: ExperimentContext, benchmark: str) -> Dict[str, Any]:
+    """One cached TurboSMARTS run (confidence-targeted)."""
+    cfg = TurboSmartsConfig.from_scale(ctx.scale)
+    return ctx.run_cached(
+        benchmark,
+        TurboSmarts(cfg, ctx.machine),
+        {"period": cfg.smarts.period_ops, "rel": cfg.rel_error},
+    )
+
+
+def _simpoint_run(
+    ctx: ExperimentContext, benchmark: str, interval: int, k: int
+) -> Dict[str, Any]:
+    """One cached SimPoint run at (interval, k clusters)."""
+    technique = SimPoint(SimPointConfig(interval, k), ctx.machine)
+    return ctx.run_cached(
+        benchmark,
+        technique,
+        {"interval": interval, "k": k},
+        runner=lambda: technique.run(ctx.program(benchmark), trace=ctx.trace(benchmark)),
+    )
+
+
+def _olsp_run(
+    ctx: ExperimentContext, benchmark: str, interval: int, threshold_pi: float
+) -> Dict[str, Any]:
+    """One cached Online-SimPoint run at (interval, threshold)."""
+    technique = OnlineSimPoint(
+        OnlineSimPointConfig(interval, threshold_pi), ctx.machine
+    )
+    return ctx.run_cached(
+        benchmark,
+        technique,
+        {"interval": interval, "threshold": threshold_pi},
+        runner=lambda: technique.run(ctx.program(benchmark), trace=ctx.trace(benchmark)),
+    )
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """One cell per (technique configuration, benchmark) pair.
+
+    The PGSS panel reuses the Figure 11 sweep, so those cells are
+    included too (the enumerator deduplicates across figures).
+    """
+    out = [trace_cell(name) for name in ctx.benchmarks]
+    for benchmark in ctx.benchmarks:
+        out.append(
+            ExperimentCell.make(
+                "fig12_technique_comparison", benchmark, technique="smarts"
+            )
+        )
+        out.append(
+            ExperimentCell.make(
+                "fig12_technique_comparison", benchmark, technique="turbosmarts"
+            )
+        )
+    for cfg in _simpoint_grid(ctx):
+        for benchmark in ctx.benchmarks:
+            out.append(
+                ExperimentCell.make(
+                    "fig12_technique_comparison",
+                    benchmark,
+                    technique="simpoint",
+                    interval=cfg.interval_ops,
+                    k=cfg.n_clusters,
+                )
+            )
+    for interval in ctx.scale.simpoint_intervals:
+        for threshold in OLSP_THRESHOLDS_PI:
+            for benchmark in ctx.benchmarks:
+                out.append(
+                    ExperimentCell.make(
+                        "fig12_technique_comparison",
+                        benchmark,
+                        technique="olsp",
+                        interval=interval,
+                        threshold_pi=threshold,
+                    )
+                )
+    out.extend(fig11_cells(ctx))
+    return out
+
+
+def run_cell(ctx: ExperimentContext, benchmark: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Parallel-driver entry: one cached technique run."""
+    technique = params["technique"]
+    if technique == "smarts":
+        return _smarts_run(ctx, benchmark)
+    if technique == "turbosmarts":
+        return _turbo_run(ctx, benchmark)
+    if technique == "simpoint":
+        return _simpoint_run(ctx, benchmark, params["interval"], params["k"])
+    if technique == "olsp":
+        return _olsp_run(
+            ctx, benchmark, params["interval"], params["threshold_pi"]
+        )
+    raise OrchestrationError(f"unknown fig12 cell technique {technique!r}")
+
+
 def _grid_views(
     ctx: ExperimentContext,
     runs: Dict[str, Dict[str, Dict[str, Any]]],
@@ -118,26 +228,13 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
     result: Dict[str, Any] = {"benchmarks": list(ctx.benchmarks)}
 
     # SMARTS.
-    smarts_cfg = SmartsConfig.from_scale(ctx.scale)
     result["SMARTS"] = _summary(
-        _per_benchmark(
-            ctx,
-            lambda b: ctx.run_cached(
-                b, Smarts(smarts_cfg, ctx.machine), {"period": smarts_cfg.period_ops}
-            ),
-        )
+        _per_benchmark(ctx, lambda b: _smarts_run(ctx, b))
     )
 
     # TurboSMARTS (+ CI coverage observation).
     turbo_cfg = TurboSmartsConfig.from_scale(ctx.scale)
-    turbo_runs = _per_benchmark(
-        ctx,
-        lambda b: ctx.run_cached(
-            b,
-            TurboSmarts(turbo_cfg, ctx.machine),
-            {"period": turbo_cfg.smarts.period_ops, "rel": turbo_cfg.rel_error},
-        ),
-    )
+    turbo_runs = _per_benchmark(ctx, lambda b: _turbo_run(ctx, b))
     result["TurboSMARTS"] = _summary(turbo_runs)
     converged = [
         b for b, r in turbo_runs.items() if r["extras"].get("converged")
@@ -154,15 +251,9 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
     # SimPoint grid (profiling + interval IPCs from the reference trace).
     sp_runs: Dict[str, Dict[str, Dict[str, Any]]] = {}
     for cfg in _simpoint_grid(ctx):
-        technique = SimPoint(cfg, ctx.machine)
         sp_runs[cfg.label] = _per_benchmark(
             ctx,
-            lambda b, t=technique, c=cfg: ctx.run_cached(
-                b,
-                t,
-                {"interval": c.interval_ops, "k": c.n_clusters},
-                runner=lambda: t.run(ctx.program(b), trace=ctx.trace(b)),
-            ),
+            lambda b, c=cfg: _simpoint_run(ctx, b, c.interval_ops, c.n_clusters),
         )
     result["SimPoint"] = _grid_views(ctx, sp_runs)
 
@@ -171,14 +262,10 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
     for interval in ctx.scale.simpoint_intervals:
         for threshold in OLSP_THRESHOLDS_PI:
             cfg = OnlineSimPointConfig(interval, threshold)
-            technique = OnlineSimPoint(cfg, ctx.machine)
             olsp_runs[cfg.label] = _per_benchmark(
                 ctx,
-                lambda b, t=technique, c=cfg: ctx.run_cached(
-                    b,
-                    t,
-                    {"interval": c.interval_ops, "threshold": c.threshold_pi},
-                    runner=lambda: t.run(ctx.program(b), trace=ctx.trace(b)),
+                lambda b, c=cfg: _olsp_run(
+                    ctx, b, c.interval_ops, c.threshold_pi
                 ),
             )
     result["OnlineSimPoint"] = _grid_views(ctx, olsp_runs)

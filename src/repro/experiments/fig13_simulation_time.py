@@ -22,13 +22,16 @@ from typing import Any, Dict, List
 
 from ..bbv import BbvTracker
 from ..cpu import Mode, SimulationEngine
+from ..errors import OrchestrationError
 from ..sampling.smarts import SmartsConfig
+from .cells import ExperimentCell
 from .fig11_pgss_sweep import run_single as pgss_run_single
+from .fig12_technique_comparison import cells as fig12_cells
 from .fig12_technique_comparison import run as run_fig12
 from .formatting import table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result", "measure_rates"]
+__all__ = ["run", "format_result", "cells", "run_cell", "measure_rates"]
 
 #: Workload and op budget used for rate calibration.
 RATE_BENCHMARK = "164.gzip"
@@ -69,6 +72,37 @@ def measure_rates(ctx: ExperimentContext) -> Dict[str, float]:
         key = f"func_fast_scalar{'+bbv' if with_bbv else ''}"
         rates[key] = one(Mode.FUNC_FAST, with_bbv, batched=False)
     return rates
+
+
+def _cached_rates(ctx: ExperimentContext) -> Dict[str, float]:
+    """The cached per-mode rate table (measured once per cache lifetime).
+
+    Rates are host-time measurements, so unlike every other cell they are
+    not reproducible across cache-cleared runs — but caching the single
+    measurement means every consumer (serial or parallel, any job count)
+    reads the same numbers.
+    """
+    return ctx.cache.json(
+        {"kind": "rates", "scale": ctx.scale.name, "ops": RATE_OPS,
+         "engine": "batched"},
+        lambda: measure_rates(ctx),
+    )
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """The rate-calibration cell plus everything Figure 12 needs."""
+    out = [
+        ExperimentCell.make("fig13_simulation_time", RATE_BENCHMARK, unit="rates")
+    ]
+    out.extend(fig12_cells(ctx))
+    return out
+
+
+def run_cell(ctx: ExperimentContext, benchmark: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Parallel-driver entry: the cached rate measurement."""
+    if params.get("unit") == "rates":
+        return _cached_rates(ctx)
+    raise OrchestrationError(f"unknown fig13 cell params {params!r}")
 
 
 def _technique_times(
@@ -130,11 +164,7 @@ def _technique_times(
 
 def run(ctx: ExperimentContext) -> Dict[str, Any]:
     """Measure rates and compose suite-level simulation times."""
-    rates = ctx.cache.json(
-        {"kind": "rates", "scale": ctx.scale.name, "ops": RATE_OPS,
-         "engine": "batched"},
-        lambda: measure_rates(ctx),
-    )
+    rates = _cached_rates(ctx)
     fig12 = run_fig12(ctx)
     times = _technique_times(ctx, rates, fig12)
     detail_ratio = rates["func_warm"] / rates["detail"] if rates["detail"] else 0.0

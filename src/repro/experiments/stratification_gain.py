@@ -15,16 +15,17 @@ from ground truth is the direct measure of phase-detection quality.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..phase import OnlinePhaseClassifier
 from ..stats.sampling_theory import required_samples_comparison
+from .cells import ExperimentCell, trace_cell
 from .formatting import table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result"]
+__all__ = ["run", "format_result", "cells"]
 
 #: Classifier threshold used for the detected-phase labelling.
 THRESHOLD_PI = 0.05
@@ -48,6 +49,11 @@ def _labels_from_classifier(trace) -> list:
     for bbv, ops in zip(trace.normalized_bbvs(), trace.ops):
         labels.append(classifier.observe(bbv, int(ops)).phase_id)
     return labels
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """Cacheable units: every benchmark's reference trace."""
+    return [trace_cell(name) for name in ctx.benchmarks]
 
 
 def run(ctx: ExperimentContext) -> Dict[str, Any]:

@@ -18,13 +18,15 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, Dict, List
 
+from ..errors import OrchestrationError
 from ..sampling.pgss import Pgss, PgssConfig
 from ..sampling.smarts import Smarts, SmartsConfig
 from ..stats.errors_metrics import arithmetic_mean
+from .cells import ExperimentCell, trace_cell
 from .formatting import fmt_ops, fmt_pct, table
 from .runner import ExperimentContext
 
-__all__ = ["run", "format_result"]
+__all__ = ["run", "format_result", "cells", "run_cell"]
 
 #: SMARTS period multipliers swept (relative to the scale's canonical one).
 SMARTS_PERIOD_FACTORS = (0.5, 1, 2, 4, 8)
@@ -33,22 +35,41 @@ SMARTS_PERIOD_FACTORS = (0.5, 1, 2, 4, 8)
 PGSS_SPREAD_FACTORS = (0.25, 0.5, 1, 2, 4)
 
 
-def _smarts_point(
-    ctx: ExperimentContext, period: int, warming: bool
-) -> Dict[str, float]:
-    errors = []
-    details = []
+def _smarts_run(
+    ctx: ExperimentContext, benchmark: str, period: int, warming: bool
+) -> Dict[str, Any]:
+    """One cached SMARTS sweep-point run on one benchmark."""
     cfg = replace(
         SmartsConfig.from_scale(ctx.scale),
         period_ops=period,
         functional_warming=warming,
     )
+    return ctx.run_cached(
+        benchmark,
+        Smarts(cfg, ctx.machine),
+        {"period": period, "warming": warming, "sweep": "tradeoff"},
+    )
+
+
+def _pgss_run(
+    ctx: ExperimentContext, benchmark: str, spread: int
+) -> Dict[str, Any]:
+    """One cached PGSS sweep-point run on one benchmark."""
+    cfg = PgssConfig.from_scale(ctx.scale, spread_ops=spread)
+    return ctx.run_cached(
+        benchmark,
+        Pgss(cfg, ctx.machine),
+        {"spread": spread, "sweep": "tradeoff"},
+    )
+
+
+def _smarts_point(
+    ctx: ExperimentContext, period: int, warming: bool
+) -> Dict[str, float]:
+    errors = []
+    details = []
     for name in ctx.benchmarks:
-        res = ctx.run_cached(
-            name,
-            Smarts(cfg, ctx.machine),
-            {"period": period, "warming": warming, "sweep": "tradeoff"},
-        )
+        res = _smarts_run(ctx, name, period, warming)
         true = ctx.true_ipc(name)
         errors.append(100.0 * abs(res["ipc_estimate"] - true) / true)
         details.append(res["detailed_ops"])
@@ -61,13 +82,8 @@ def _smarts_point(
 def _pgss_point(ctx: ExperimentContext, spread: int) -> Dict[str, float]:
     errors = []
     details = []
-    cfg = PgssConfig.from_scale(ctx.scale, spread_ops=spread)
     for name in ctx.benchmarks:
-        res = ctx.run_cached(
-            name,
-            Pgss(cfg, ctx.machine),
-            {"spread": spread, "sweep": "tradeoff"},
-        )
+        res = _pgss_run(ctx, name, spread)
         true = ctx.true_ipc(name)
         errors.append(100.0 * abs(res["ipc_estimate"] - true) / true)
         details.append(res["detailed_ops"])
@@ -77,13 +93,57 @@ def _pgss_point(ctx: ExperimentContext, spread: int) -> Dict[str, float]:
     }
 
 
+def _smarts_periods(ctx: ExperimentContext) -> List[int]:
+    return [int(ctx.scale.smarts_period * f) for f in SMARTS_PERIOD_FACTORS]
+
+
+def _pgss_spreads(ctx: ExperimentContext) -> List[int]:
+    return [
+        max(int(ctx.scale.pgss_spread * f), ctx.scale.pgss_best_period)
+        for f in PGSS_SPREAD_FACTORS
+    ]
+
+
+def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
+    """One cell per (sweep point, benchmark) pair for both techniques."""
+    out = [trace_cell(name) for name in ctx.benchmarks]
+    for period in _smarts_periods(ctx):
+        for warming in (True, False):
+            for benchmark in ctx.benchmarks:
+                out.append(
+                    ExperimentCell.make(
+                        "tradeoff",
+                        benchmark,
+                        technique="smarts",
+                        period=period,
+                        warming=warming,
+                    )
+                )
+    for spread in _pgss_spreads(ctx):
+        for benchmark in ctx.benchmarks:
+            out.append(
+                ExperimentCell.make(
+                    "tradeoff", benchmark, technique="pgss", spread=spread
+                )
+            )
+    return out
+
+
+def run_cell(ctx: ExperimentContext, benchmark: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Parallel-driver entry: one cached sweep-point run."""
+    technique = params["technique"]
+    if technique == "smarts":
+        return _smarts_run(ctx, benchmark, params["period"], params["warming"])
+    if technique == "pgss":
+        return _pgss_run(ctx, benchmark, params["spread"])
+    raise OrchestrationError(f"unknown tradeoff cell technique {technique!r}")
+
+
 def run(ctx: ExperimentContext) -> Dict[str, Any]:
     """Sweep both techniques' budget knobs; include the warming ablation."""
-    base_period = ctx.scale.smarts_period
     smarts_curve: List[Dict[str, float]] = []
     cold_curve: List[Dict[str, float]] = []
-    for factor in SMARTS_PERIOD_FACTORS:
-        period = int(base_period * factor)
+    for period in _smarts_periods(ctx):
         smarts_curve.append(
             {"period": period, **_smarts_point(ctx, period, warming=True)}
         )
@@ -91,10 +151,8 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
             {"period": period, **_smarts_point(ctx, period, warming=False)}
         )
 
-    base_spread = ctx.scale.pgss_spread
     pgss_curve: List[Dict[str, float]] = []
-    for factor in PGSS_SPREAD_FACTORS:
-        spread = max(int(base_spread * factor), ctx.scale.pgss_best_period)
+    for spread in _pgss_spreads(ctx):
         pgss_curve.append({"spread": spread, **_pgss_point(ctx, spread)})
 
     # Warming ablation headline: cold-vs-warm error gap at the canonical

@@ -124,15 +124,22 @@ class ReferenceTrace:
         return self.aggregate(period_ops // self.window_ops_target)
 
     def save(self, path: Path) -> None:
-        """Serialise to a compressed ``.npz`` file."""
-        np.savez_compressed(
-            path,
-            program=np.array(self.program),
-            window=np.array(self.window_ops_target),
-            ops=self.ops,
-            cycles=self.cycles,
-            bbvs=self.bbvs,
-        )
+        """Serialise to a compressed ``.npz`` file.
+
+        Writes through an open handle so the file is created at *path*
+        exactly — ``np.savez_compressed`` would otherwise append ``.npz``
+        to the name, which breaks atomic write-to-tmp-then-rename
+        publication in the result cache.
+        """
+        with open(path, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                program=np.array(self.program),
+                window=np.array(self.window_ops_target),
+                ops=self.ops,
+                cycles=self.cycles,
+                bbvs=self.bbvs,
+            )
 
     @classmethod
     def load(cls, path: Path) -> "ReferenceTrace":

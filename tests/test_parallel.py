@@ -1,0 +1,388 @@
+"""Tests for the parallel orchestration layer and the concurrency-safe cache.
+
+Covers the cache's atomic publication, duplicate-work suppression,
+corruption quarantine, and strict keying; cell enumeration and
+deduplication; the parallel driver's timeout/retry handling; the
+byte-identity of ``--jobs 1`` vs ``--jobs N`` figure results; and the
+``run-all`` CLI wiring.
+"""
+
+import json
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import Scale
+from repro.errors import CacheError, OrchestrationError, SamplingError
+from repro.experiments import (
+    ExperimentCell,
+    ExperimentContext,
+    ParallelRunner,
+    ResultCache,
+    enumerate_cells,
+    run_cells,
+    trace_cell,
+)
+from repro.experiments.cells import TRACE_FIGURE
+from repro.sampling.full import ReferenceTrace
+
+PAYLOAD = {"kind": "stress", "k": 1}
+
+EQUALITY_FIGURES = ["fig02_sampling_granularity", "fig07_change_distribution"]
+
+
+def _make_ctx(cache_dir):
+    return ExperimentContext(
+        Scale.QUICK,
+        cache_dir=cache_dir,
+        benchmarks=["164.gzip", "300.twolf"],
+    )
+
+
+def _race_writer(cache_dir, out_dir, idx):
+    """One racing process: compute-or-hit the shared key, record both."""
+    cache = ResultCache(cache_dir)
+
+    def compute():
+        (out_dir / f"compute.{idx}").write_text("computed")
+        return {"value": 42, "blob": list(range(64)), "writer_pool": True}
+
+    result = cache.json(PAYLOAD, compute)
+    (out_dir / f"result.{idx}.json").write_text(
+        json.dumps(result, sort_keys=True)
+    )
+
+
+def _sleepy_runner(ctx, cell):
+    time.sleep(30)
+
+
+def _flaky_runner(ctx, cell):
+    """Fails the first attempt of each cell, succeeds afterwards."""
+    marker = ctx.cache.directory / f"attempted.{cell.benchmark}"
+    if not marker.exists():
+        marker.write_text("first attempt")
+        raise SamplingError("transient fault, please retry")
+
+
+def _noop_runner(ctx, cell):
+    return None
+
+
+class TestCacheConcurrency:
+    def test_multiprocess_writers_race_one_key(self, tmp_path):
+        """N processes racing one key: all observe identical bytes."""
+        cache_dir = tmp_path / "cache"
+        out_dir = tmp_path / "out"
+        cache_dir.mkdir()
+        out_dir.mkdir()
+        mp = multiprocessing.get_context("fork")
+        procs = [
+            mp.Process(target=_race_writer, args=(cache_dir, out_dir, i))
+            for i in range(6)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        results = {
+            path.read_text() for path in sorted(out_dir.glob("result.*.json"))
+        }
+        assert len(results) == 1  # every process saw the same bytes
+        computes = list(out_dir.glob("compute.*"))
+        assert len(computes) >= 1
+        # The published entry is complete, valid JSON.
+        entries = list(cache_dir.glob("*.json"))
+        assert len(entries) == 1
+        assert json.loads(entries[0].read_text())["value"] == 42
+        # No tmp or claim litter survives the race.
+        assert not list(cache_dir.glob("*.tmp"))
+        assert not list(cache_dir.glob("*.claim"))
+
+    def test_waiter_reuses_peer_result(self, tmp_path):
+        """A reader that loses the claim race waits instead of recomputing."""
+        first = ResultCache(tmp_path)
+        second = ResultCache(tmp_path)
+        claimed = threading.Event()
+        release = threading.Event()
+
+        def slow_compute():
+            claimed.set()
+            assert release.wait(timeout=30)
+            return {"value": "from-first"}
+
+        def never_compute():
+            raise AssertionError("waiter must not recompute")
+
+        holder = threading.Thread(
+            target=lambda: first.json({"k": "slow"}, slow_compute)
+        )
+        holder.start()
+        assert claimed.wait(timeout=30)
+        # First holds the claim now; let it publish shortly after the
+        # second reader has started waiting on it.
+        threading.Timer(0.2, release.set).start()
+        result = second.json({"k": "slow"}, never_compute)
+        holder.join(timeout=30)
+        assert result == {"value": "from-first"}
+        assert second.races == 1
+        assert second.hits == 1 and second.misses == 0
+
+    def test_stale_claim_is_stolen(self, tmp_path):
+        """A claim left by a dead process does not block readers."""
+        cache = ResultCache(tmp_path)
+        key = cache.key({"k": "stale"})
+        claim = tmp_path / f"{key}.json.claim"
+        claim.write_text("999999999")  # no such pid
+        result = cache.json({"k": "stale"}, lambda: {"v": 1})
+        assert result == {"v": 1}
+        assert cache.races == 1 and cache.misses == 1
+        assert not claim.exists()
+
+
+class TestCacheCorruption:
+    def test_corrupt_json_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.json({"k": 1}, lambda: {"v": "original"})
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{not json at all")
+        fresh = ResultCache(tmp_path)
+        result = fresh.json({"k": 1}, lambda: {"v": "recomputed"})
+        assert result == {"v": "recomputed"}
+        assert fresh.corrupt == 1 and fresh.misses == 1
+        assert list(tmp_path.glob("*.corrupt"))
+        # The recomputed entry replaces the quarantined one durably.
+        assert ResultCache(tmp_path).json(
+            {"k": 1}, lambda: {"v": "never"}
+        ) == {"v": "recomputed"}
+
+    def test_non_object_json_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.json({"k": 1}, lambda: {"v": 1})
+        next(tmp_path.glob("*.json")).write_text('["valid", "but", "a", "list"]')
+        fresh = ResultCache(tmp_path)
+        assert fresh.json({"k": 1}, lambda: {"v": 2}) == {"v": 2}
+        assert fresh.corrupt == 1
+
+    def test_truncated_trace_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        trace = ReferenceTrace(
+            "tiny",
+            100,
+            np.array([100, 100]),
+            np.array([200, 150]),
+            np.zeros((2, 32)),
+        )
+        cache.trace({"k": "t"}, lambda: trace)
+        entry = next(tmp_path.glob("*.npz"))
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+        fresh = ResultCache(tmp_path)
+        recovered = fresh.trace({"k": "t"}, lambda: trace)
+        assert recovered.true_ipc == trace.true_ipc
+        assert fresh.corrupt == 1 and fresh.misses == 1
+        assert list(tmp_path.glob("*.corrupt"))
+
+
+class TestCacheHygiene:
+    def test_clear_sweeps_working_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.json({"k": 1}, lambda: {})
+        (tmp_path / "deadbeef.json.123.abcd1234.tmp").write_text("torn")
+        (tmp_path / "deadbeef.json.claim").write_text("42")
+        (tmp_path / "deadbeef.json.corrupt").write_text("bad")
+        (tmp_path / "unrelated.txt").write_text("keep me")
+        assert cache.clear() == 4
+        assert (tmp_path / "unrelated.txt").exists()
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob("*.claim"))
+        assert not list(tmp_path.glob("*.corrupt"))
+
+    def test_key_rejects_unserializable_payload(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(CacheError):
+            cache.key({"bad": object()})
+        with pytest.raises(CacheError):
+            cache.key({"bad": {1, 2, 3}})
+
+    def test_key_rejects_unserializable_nested_value(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(CacheError):
+            cache.json({"cfg": {"rng": np.random.default_rng(0)}}, lambda: {})
+
+
+class TestCells:
+    def test_cell_identity_and_seed_are_stable(self):
+        a = ExperimentCell.make("fig11_pgss_sweep", "164.gzip", period=4000, threshold_pi=0.05)
+        b = ExperimentCell.make("fig11_pgss_sweep", "164.gzip", threshold_pi=0.05, period=4000)
+        assert a == b
+        assert a.cell_id == "fig11_pgss_sweep/164.gzip[period=4000,threshold_pi=0.05]"
+        assert a.seed == b.seed
+        assert a.seed != trace_cell("164.gzip").seed
+
+    def test_enumerate_cells_dedupes_shared_traces(self, tmp_path):
+        ctx = _make_ctx(tmp_path)
+        cells = enumerate_cells(ctx, figures=EQUALITY_FIGURES)
+        assert len(cells) == len(set(cells))
+        traces = [c for c in cells if c.figure == TRACE_FIGURE]
+        # fig02 warms one benchmark, fig07 warms both; the shared trace
+        # cell must appear exactly once.
+        assert len(traces) == len({c.benchmark for c in traces})
+
+    def test_enumerate_cells_covers_all_figures(self, tmp_path):
+        ctx = _make_ctx(tmp_path)
+        cells = enumerate_cells(ctx)
+        figures = {c.figure for c in cells}
+        assert TRACE_FIGURE in figures
+        assert "fig11_pgss_sweep" in figures
+        assert "fig12_technique_comparison" in figures
+        assert "tradeoff" in figures
+
+    def test_unknown_cell_params_raise(self, tmp_path):
+        from repro.experiments.cells import run_cell as run_one
+
+        ctx = _make_ctx(tmp_path)
+        bad = ExperimentCell.make(
+            "fig12_technique_comparison", "164.gzip", technique="nonesuch"
+        )
+        with pytest.raises(OrchestrationError):
+            run_one(ctx, bad)
+
+
+class TestParallelRunner:
+    def test_rejects_bad_jobs(self, tmp_path):
+        with pytest.raises(OrchestrationError):
+            ParallelRunner(_make_ctx(tmp_path), jobs=0)
+
+    def test_serial_outcomes_in_order(self, tmp_path):
+        ctx = _make_ctx(tmp_path)
+        cells = [trace_cell(b) for b in ctx.benchmarks]
+        outcomes = run_cells(ctx, cells, jobs=1, cell_runner=_noop_runner)
+        assert [o.cell for o in outcomes] == cells
+        assert all(o.status == "ok" and o.attempts == 1 for o in outcomes)
+
+    def test_pool_timeout_is_reported(self, tmp_path):
+        ctx = _make_ctx(tmp_path)
+        outcomes = run_cells(
+            ctx,
+            [trace_cell("164.gzip")],
+            jobs=2,
+            timeout_s=1.0,
+            retries=0,
+            cell_runner=_sleepy_runner,
+        )
+        assert outcomes[0].status == "timeout"
+        assert "budget" in outcomes[0].error
+
+    def test_pool_retry_recovers_transient_fault(self, tmp_path):
+        ctx = _make_ctx(tmp_path)
+        cells = [trace_cell(b) for b in ctx.benchmarks]
+        outcomes = run_cells(
+            ctx, cells, jobs=2, retries=1, cell_runner=_flaky_runner
+        )
+        assert all(o.status == "ok" for o in outcomes)
+        assert all(o.attempts == 2 for o in outcomes)
+
+    def test_retries_exhausted_reports_error(self, tmp_path):
+        ctx = _make_ctx(tmp_path)
+
+        def always_fails(ctx, cell):
+            raise SamplingError("permanent fault")
+
+        outcomes = run_cells(
+            ctx,
+            [trace_cell("164.gzip")],
+            jobs=1,
+            retries=1,
+            cell_runner=always_fails,
+        )
+        assert outcomes[0].status == "error"
+        assert outcomes[0].attempts == 2
+        assert "permanent fault" in outcomes[0].error
+
+    def test_progress_lines_emitted(self, tmp_path):
+        ctx = _make_ctx(tmp_path)
+        lines = []
+        cells = [trace_cell(b) for b in ctx.benchmarks]
+        run_cells(ctx, cells, jobs=1, progress=lines.append, cell_runner=_noop_runner)
+        assert len(lines) == len(cells)
+        assert lines[-1].startswith(f"[{len(cells)}/{len(cells)}]")
+        assert "ETA" in lines[0]
+
+
+class TestParallelEquality:
+    def test_jobs1_and_jobs2_results_byte_identical(self, tmp_path):
+        """The acceptance property: any job count, identical figure bytes."""
+        serial_ctx = _make_ctx(tmp_path / "serial")
+        parallel_ctx = _make_ctx(tmp_path / "parallel")
+
+        serial = run_cells(
+            serial_ctx,
+            enumerate_cells(serial_ctx, figures=EQUALITY_FIGURES),
+            jobs=1,
+        )
+        parallel = run_cells(
+            parallel_ctx,
+            enumerate_cells(parallel_ctx, figures=EQUALITY_FIGURES),
+            jobs=2,
+        )
+        assert all(o.status == "ok" for o in serial + parallel)
+
+        import repro.experiments.fig02_sampling_granularity as fig02
+        import repro.experiments.fig07_change_distribution as fig07
+
+        for module in (fig02, fig07):
+            a = json.dumps(module.run(serial_ctx), sort_keys=True)
+            b = json.dumps(module.run(parallel_ctx), sort_keys=True)
+            assert a == b
+        # Figure assembly after the fan-out reads pure cache hits.
+        assert serial_ctx.cache.stats()["corrupt"] == 0
+        assert parallel_ctx.cache.stats()["corrupt"] == 0
+
+
+class TestRunAllCli:
+    def test_parser_accepts_run_all(self):
+        args = build_parser().parse_args(
+            ["--scale", "quick", "run-all", "--jobs", "3", "--figures", "2,10"]
+        )
+        assert args.command == "run-all"
+        assert args.jobs == 3
+        assert args.figures == "2,10"
+
+    def test_run_all_unknown_figure_fails_fast(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["--scale", "quick", "run-all", "--figures", "99"])
+        assert code == 2
+        assert "unknown figure id" in capsys.readouterr().err
+
+    def test_run_all_quick_figure_parallel(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(
+            ["--scale", "quick", "run-all", "--figures", "2", "--jobs", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Figure 2" in captured.out
+        assert "cache:" in captured.err
+
+    def test_run_all_writes_report_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "report.txt"
+        code = main(
+            [
+                "--scale",
+                "quick",
+                "run-all",
+                "--figures",
+                "2",
+                "--quiet",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "Figure 2" in out.read_text()
