@@ -16,10 +16,18 @@ Quickstart::
     print(result.ipc_estimate, result.detailed_ops)
 """
 
-from .config import CacheConfig, MachineConfig, Scale, ScaleConfig, DEFAULT_MACHINE
+from .config import (
+    CacheConfig,
+    MachineConfig,
+    SampleBudget,
+    Scale,
+    ScaleConfig,
+    DEFAULT_MACHINE,
+)
 from .errors import (
     ClusteringError,
     ConfigurationError,
+    EstimateError,
     ProgramError,
     ReproError,
     SamplingError,
@@ -53,6 +61,7 @@ __all__ = [
     # config
     "CacheConfig",
     "MachineConfig",
+    "SampleBudget",
     "Scale",
     "ScaleConfig",
     "DEFAULT_MACHINE",
@@ -64,6 +73,7 @@ __all__ = [
     "SnapshotError",
     "StreamExhausted",
     "SamplingError",
+    "EstimateError",
     "ClusteringError",
     # program model
     "BasicBlock",

@@ -16,6 +16,9 @@ HYG002  mutable default argument
 HYG003  public module without ``__all__``
 HYG004  frozen-dataclass mutation via ``object.__setattr__`` on a
         target other than ``self``
+HYG005  literal engine-mode scheduling (``.run(Mode.X, ...)`` /
+        ``.run_to_end(Mode.X, ...)``) outside the sampling-session
+        kernel
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from .core import Finding, ModuleContext, Rule, Severity, dotted_name
 
 __all__ = [
     "HYGIENE_RULES",
+    "EngineModeEscapeRule",
     "ForeignFrozenMutationRule",
     "MissingAllRule",
     "MutableDefaultRule",
@@ -199,9 +203,55 @@ class ForeignFrozenMutationRule(Rule):
             )
 
 
+class EngineModeEscapeRule(Rule):
+    """HYG005: literal mode schedules belong to the sampling-session kernel.
+
+    Every sampled-simulation technique schedules engine modes through
+    :class:`repro.sampling.session.SamplingSession` (a plan of
+    ``ModeSegment`` entries), which is what keeps accounting, event emission,
+    and batched dispatch uniform.  A call like ``engine.run(Mode.DETAIL,
+    n)`` anywhere else re-opens the pre-kernel world where each
+    technique hand-rolled its own loop, so it is flagged.  Generic
+    drivers that *forward* a mode variable (``engine.run(mode, n)``)
+    are fine — the rule only fires on literal ``Mode.X`` attributes.
+    """
+
+    rule_id = "HYG005"
+    severity = Severity.ERROR
+    summary = "literal engine-mode scheduling outside repro.sampling.session"
+
+    _METHODS = frozenset({"run", "run_to_end"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_subpackage("sampling") and ctx.module_name == "session":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in self._METHODS:
+                continue
+            arg_name = dotted_name(node.args[0])
+            if arg_name is None:
+                continue
+            parts = arg_name.split(".")
+            if len(parts) < 2 or parts[-2] != "Mode":
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"direct engine scheduling .{func.attr}({arg_name}, ...); "
+                "express the schedule as a ModeSegment plan run by "
+                "repro.sampling.session.SamplingSession",
+            )
+
+
 HYGIENE_RULES: List[Type[Rule]] = [
     NonReproRaiseRule,
     MutableDefaultRule,
     MissingAllRule,
     ForeignFrozenMutationRule,
+    EngineModeEscapeRule,
 ]

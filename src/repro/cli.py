@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from .config import Scale, ScaleConfig
 from .program import WORKLOAD_NAMES, get_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .events import EventBus
 
 __all__ = ["main", "build_parser"]
 
@@ -78,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sample.add_argument(
         "--period", type=int, default=None, help="BBV/sampling period in ops"
+    )
+    p_sample.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream session events (samples, phase changes, estimates) "
+        "to stderr while the technique runs",
     )
 
     p_fig = sub.add_parser("figure", help="regenerate one paper figure")
@@ -141,8 +150,49 @@ def _cmd_simulate(scale: ScaleConfig, workload: str) -> int:
     return 0
 
 
+def _make_progress_bus() -> "EventBus":
+    """An event bus whose subscribers narrate the run on stderr."""
+    from .events import EstimateUpdated, EventBus, PhaseChange, SampleTaken
+
+    bus = EventBus()
+
+    def on_sample(event: SampleTaken) -> None:
+        print(
+            f"  sample #{event.index} @ op {event.op_offset:,}: "
+            f"ipc {event.ipc:.3f} ({event.ops} ops / {event.cycles} cycles)",
+            file=sys.stderr,
+        )
+
+    def on_phase(event: PhaseChange) -> None:
+        kind = "new phase" if event.created else "phase change"
+        prev = "-" if event.previous_phase_id is None else event.previous_phase_id
+        print(
+            f"  {kind}: {prev} -> {event.phase_id} "
+            f"(distance {event.distance:.3f}, period {event.n_observations})",
+            file=sys.stderr,
+        )
+
+    def on_estimate(event: EstimateUpdated) -> None:
+        tag = "final" if event.final else "running"
+        print(
+            f"  {tag} estimate [{event.technique}]: ipc {event.ipc:.4f} "
+            f"after {event.n_samples} samples",
+            file=sys.stderr,
+        )
+
+    bus.subscribe(SampleTaken, on_sample)
+    bus.subscribe(PhaseChange, on_phase)
+    bus.subscribe(EstimateUpdated, on_estimate)
+    return bus
+
+
 def _cmd_sample(
-    scale: ScaleConfig, workload: str, technique: str, threshold: float, period: Optional[int]
+    scale: ScaleConfig,
+    workload: str,
+    technique: str,
+    threshold: float,
+    period: Optional[int],
+    progress: bool = False,
 ) -> int:
     from .sampling import (
         OnlineSimPoint,
@@ -176,7 +226,8 @@ def _cmd_sample(
                 scale, bbv_period_ops=period, threshold_pi=threshold
             )
         )
-    result = tech.run(program)
+    bus = _make_progress_bus() if progress else None
+    result = tech.run(program, bus=bus)
     print(
         f"{result.technique} on {workload}: IPC estimate "
         f"{result.ipc_estimate:.4f}, detailed ops {result.detailed_ops:,}, "
@@ -353,7 +404,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_inspect(scale, args.workload)
     if args.command == "sample":
         return _cmd_sample(
-            scale, args.workload, args.technique, args.threshold, args.period
+            scale,
+            args.workload,
+            args.technique,
+            args.threshold,
+            args.period,
+            progress=args.progress,
         )
     if args.command == "figure":
         return _cmd_figure(scale, args.number)

@@ -19,7 +19,14 @@ from typing import Tuple
 
 from .errors import ConfigurationError
 
-__all__ = ["CacheConfig", "MachineConfig", "ScaleConfig", "Scale", "DEFAULT_MACHINE"]
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "SampleBudget",
+    "ScaleConfig",
+    "Scale",
+    "DEFAULT_MACHINE",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +103,46 @@ DEFAULT_MACHINE = MachineConfig()
 
 
 @dataclass(frozen=True)
+class SampleBudget:
+    """The per-sample cost/precision contract shared by the sampling
+    techniques.
+
+    SMARTS, TurboSMARTS, and PGSS all take detailed samples of the same
+    shape — ``warmup_ops`` of detailed warming followed by ``detail_ops``
+    of measured detailed simulation — and the confidence-driven ones stop
+    at the same ``rel_error`` @ ``confidence`` target.  Each technique's
+    ``from_scale`` constructor reads this one object (via
+    :attr:`ScaleConfig.sample_budget`) instead of cherry-picking scale
+    fields, so the paper's Table 1 values cannot drift apart between
+    techniques.
+
+    Attributes:
+        detail_ops: measured detailed-sample length (paper: 1000).
+        warmup_ops: detailed warming before each sample (paper: ~3000).
+        rel_error: relative CI half-width target (paper: 3%).
+        confidence: confidence level (paper: 99.7%).
+    """
+
+    detail_ops: int
+    warmup_ops: int
+    rel_error: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if self.detail_ops <= 0 or self.warmup_ops < 0:
+            raise ConfigurationError("sample lengths must be positive")
+        if self.rel_error <= 0:
+            raise ConfigurationError("rel_error must be positive")
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigurationError("confidence must be in (0, 1)")
+
+    @property
+    def ops_per_sample(self) -> int:
+        """Detailed ops one sample costs (warming + measurement)."""
+        return self.detail_ops + self.warmup_ops
+
+
+@dataclass(frozen=True)
 class ScaleConfig:
     """Interval-length parameter set for the sampling techniques.
 
@@ -165,6 +212,20 @@ class ScaleConfig:
                     f"interval {interval} is not a multiple of the "
                     f"{self.trace_window}-op trace window"
                 )
+
+    @property
+    def sample_budget(self) -> SampleBudget:
+        """The scale's per-sample cost/precision contract.
+
+        The single source every technique's ``from_scale`` constructor
+        derives its sample shape and confidence target from.
+        """
+        return SampleBudget(
+            detail_ops=self.smarts_detail,
+            warmup_ops=self.smarts_warmup,
+            rel_error=self.turbo_rel_error,
+            confidence=self.turbo_confidence,
+        )
 
 
 class Scale:

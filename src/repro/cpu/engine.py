@@ -12,7 +12,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sampling.session import ModeSegment
 
 from ..branch import BimodalPredictor, BranchPredictor, GsharePredictor
 from ..config import DEFAULT_MACHINE, MachineConfig
@@ -250,6 +253,17 @@ class SimulationEngine:
         self.accounting.ops[mode] += ops
         self.accounting.seconds[mode] += elapsed
         return ModeRun(mode=mode, ops=ops, cycles=cycles, exhausted=self.stream.exhausted)
+
+    def run_segment(self, segment: "ModeSegment") -> ModeRun:
+        """Execute one sampling-plan segment (the session-facing API).
+
+        :class:`~repro.sampling.session.SamplingSession` drives the
+        engine exclusively through this entry point, so every technique
+        inherits the same batched dispatch and accounting.  The segment
+        is duck-typed (``mode`` + ``ops``), keeping the engine free of a
+        hard dependency on the sampling layer.
+        """
+        return self.run(segment.mode, segment.ops)
 
     def run_to_end(self, mode: Mode, chunk_ops: int = 1_000_000) -> ModeRun:
         """Run in *mode* until the program completes; returns the total."""

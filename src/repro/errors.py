@@ -17,6 +17,7 @@ __all__ = [
     "SnapshotError",
     "StreamExhausted",
     "SamplingError",
+    "EstimateError",
     "ClusteringError",
     "CacheError",
     "OrchestrationError",
@@ -62,6 +63,16 @@ class StreamExhausted(ReproError):
 
 class SamplingError(ReproError):
     """A sampling technique was configured or driven incorrectly."""
+
+
+class EstimateError(SamplingError, ValueError):
+    """A statistic was requested with inputs it is undefined for.
+
+    Subclasses :class:`ValueError` as well as :class:`SamplingError` so
+    generic numeric callers (``except ValueError``) and framework
+    callers (``except ReproError``) both catch it — e.g. a percent
+    error against a zero true IPC.
+    """
 
 
 class ClusteringError(ReproError):

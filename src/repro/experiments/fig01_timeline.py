@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Sequence
 
 from ..cpu import SimulationEngine
+from ..events import EventBus, SampleTaken
 from ..sampling.pgss import Pgss, PgssConfig, PgssController
 from ..sampling.simpoint import SimPoint, SimPointConfig
 from ..sampling.smarts import Smarts, SmartsConfig
@@ -68,11 +69,18 @@ def run(ctx: ExperimentContext, benchmark: str = BENCHMARK) -> Dict[str, Any]:
     scale = ctx.scale
     total_ops = scale.benchmark_ops
 
-    smarts_cfg = SmartsConfig.from_scale(scale)
-    samples, _ = Smarts(smarts_cfg, ctx.machine).collect_samples(
-        ctx.program(benchmark)
+    # Sample positions are observed through the session event bus — the
+    # same stream the CLI's --progress mode watches — rather than by
+    # reaching into technique internals.
+    smarts_offsets: List[int] = []
+    smarts_bus = EventBus()
+    smarts_bus.subscribe(
+        SampleTaken, lambda e: smarts_offsets.append(e.op_offset)
     )
-    smarts_offsets = [s.op_offset for s in samples]
+    smarts_cfg = SmartsConfig.from_scale(scale)
+    Smarts(smarts_cfg, ctx.machine).collect_samples(
+        ctx.program(benchmark), bus=smarts_bus
+    )
 
     sp_cfg = SimPointConfig(scale.simpoint_intervals[-1], 5)
     trace = ctx.trace(benchmark)
@@ -93,16 +101,17 @@ def run(ctx: ExperimentContext, benchmark: str = BENCHMARK) -> Dict[str, Any]:
     reps = [int(r) for r in clustering.representative_indices() if r >= 0]
     sp_spans = [(cum[r], cum[r + 1]) for r in reps]
 
+    pgss_offsets: List[int] = []
+    pgss_bus = EventBus()
+    pgss_bus.subscribe(SampleTaken, lambda e: pgss_offsets.append(e.op_offset))
     pgss_tech = Pgss(PgssConfig.from_scale(scale), machine=ctx.machine)
     engine = SimulationEngine(
         ctx.program(benchmark),
         machine=ctx.machine,
         bbv_tracker=pgss_tech._make_tracker(),
     )
-    controller = PgssController(engine, pgss_tech.config)
-    while controller.step():
-        pass
-    pgss_offsets = list(controller.sample_offsets)
+    controller = PgssController(engine, pgss_tech.config, bus=pgss_bus)
+    controller.run()
 
     phase_line, legend = _phase_line(ctx, benchmark, total_ops)
     return {

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..events import EventBus, ThresholdSelected
 from .classifier import OnlinePhaseClassifier
 
 __all__ = ["AdaptiveThresholdSelector"]
@@ -51,6 +52,8 @@ class AdaptiveThresholdSelector:
             candidate does.
         max_phases_per_period: reject thresholds creating more phases than
             this fraction of observed periods (too many tiny phases).
+        bus: optional event bus; :meth:`select` publishes its choice as a
+            :class:`~repro.events.ThresholdSelected` event.
     """
 
     def __init__(
@@ -59,6 +62,7 @@ class AdaptiveThresholdSelector:
         max_change_rate: float = 0.35,
         min_phases: int = 2,
         max_phases_per_period: float = 0.25,
+        bus: Optional[EventBus] = None,
     ) -> None:
         if not candidates:
             raise ConfigurationError("at least one candidate threshold is required")
@@ -68,6 +72,7 @@ class AdaptiveThresholdSelector:
         self.max_change_rate = max_change_rate
         self.min_phases = min_phases
         self.max_phases_per_period = max_phases_per_period
+        self.bus = bus
 
     def evaluate(self, bbvs: Sequence[np.ndarray]) -> List[dict]:
         """Score every candidate on the prefix; returns per-candidate dicts."""
@@ -114,8 +119,20 @@ class AdaptiveThresholdSelector:
             if r["usable"] and r["n_phases"] >= self.min_phases
         ]
         if usable:
-            return min(usable, key=lambda r: r["threshold"])["threshold"]
-        informative = [r for r in results if r["n_phases"] >= self.min_phases]
-        pool = informative if informative else results
-        best: Optional[dict] = max(pool, key=lambda r: r["score"])
-        return best["threshold"]
+            chosen = min(usable, key=lambda r: r["threshold"])
+        else:
+            informative = [
+                r for r in results if r["n_phases"] >= self.min_phases
+            ]
+            pool = informative if informative else results
+            chosen = max(pool, key=lambda r: r["score"])
+        if self.bus is not None:
+            self.bus.emit(
+                ThresholdSelected(
+                    threshold=chosen["threshold"],
+                    n_phases=chosen["n_phases"],
+                    change_rate=chosen["change_rate"],
+                    usable=chosen["usable"],
+                )
+            )
+        return float(chosen["threshold"])

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..bbv.vector import angle_between, manhattan_distance
 from ..errors import ConfigurationError
+from ..events import EventBus, PhaseChange
 from .profile import PhaseProfile
 
 __all__ = ["PhaseDecision", "OnlinePhaseClassifier"]
@@ -57,9 +58,16 @@ class OnlinePhaseClassifier:
             (e.g. ``0.05 * math.pi``).
         metric: ``"angle"`` (the paper's cosine-derived angle) or
             ``"manhattan"`` (SimPoint's L1 metric, for the ablation study).
+        bus: optional event bus; every phase change or creation is
+            published as a :class:`~repro.events.PhaseChange` event.
     """
 
-    def __init__(self, threshold: float, metric: str = "angle") -> None:
+    def __init__(
+        self,
+        threshold: float,
+        metric: str = "angle",
+        bus: Optional[EventBus] = None,
+    ) -> None:
         if threshold < 0:
             raise ConfigurationError("threshold must be non-negative")
         if metric == "angle":
@@ -77,6 +85,7 @@ class OnlinePhaseClassifier:
         self._last_bbv: Optional[np.ndarray] = None
         self.n_changes = 0
         self.n_observations = 0
+        self.bus = bus
 
     @property
     def n_phases(self) -> int:
@@ -98,6 +107,22 @@ class OnlinePhaseClassifier:
             ops: operations executed during the period (attributed to the
                 chosen phase).
         """
+        previous_id = self.current_phase_id
+        decision = self._classify(bbv, ops)
+        if self.bus is not None and (decision.changed or decision.created):
+            self.bus.emit(
+                PhaseChange(
+                    phase_id=decision.phase_id,
+                    previous_phase_id=previous_id,
+                    created=decision.created,
+                    distance=decision.angle_to_prev,
+                    n_observations=self.n_observations,
+                )
+            )
+        return decision
+
+    def _classify(self, bbv: np.ndarray, ops: int) -> PhaseDecision:
+        """The Fig. 5 decision diamonds, without event emission."""
         self.n_observations += 1
         previous_id = self.current_phase_id
 

@@ -15,24 +15,53 @@ reference, behind one interface:
 
 Each returns a :class:`SamplingResult` carrying the IPC estimate and the
 detailed-op cost, the two axes of the paper's Figure 12.
+
+All of them execute through the shared sampling-session kernel
+(:mod:`repro.sampling.session`, DESIGN.md §13): a technique is a *plan*
+of :class:`ModeSegment`\\ s run by a :class:`SamplingSession`, which
+records measured samples and emits typed events on an
+:class:`~repro.events.EventBus`.
 """
 
 from .base import SamplingResult, SamplingTechnique
+from .session import (
+    PAUSE,
+    ModeSegment,
+    SamplingSession,
+    SegmentOutcome,
+    SegmentPlan,
+    SegmentRole,
+    SessionDriver,
+    SessionSample,
+    periodic_plan,
+    run_to_end_plan,
+)
 from .full import FullDetail, ReferenceTrace, collect_reference_trace
-from .smarts import Smarts, SmartsConfig
+from .smarts import Smarts, SmartsConfig, SmartsSample
 from .turbosmarts import TurboSmarts, TurboSmartsConfig
 from .simpoint import SimPoint, SimPointConfig
 from .online_simpoint import OnlineSimPoint, OnlineSimPointConfig
-from .pgss import Pgss, PgssConfig
+from .pgss import Pgss, PgssConfig, PgssController
 
 __all__ = [
     "SamplingResult",
     "SamplingTechnique",
+    "ModeSegment",
+    "PAUSE",
+    "SamplingSession",
+    "SegmentOutcome",
+    "SegmentPlan",
+    "SegmentRole",
+    "SessionDriver",
+    "SessionSample",
+    "periodic_plan",
+    "run_to_end_plan",
     "FullDetail",
     "ReferenceTrace",
     "collect_reference_trace",
     "Smarts",
     "SmartsConfig",
+    "SmartsSample",
     "TurboSmarts",
     "TurboSmartsConfig",
     "SimPoint",
@@ -41,4 +70,5 @@ __all__ = [
     "OnlineSimPointConfig",
     "Pgss",
     "PgssConfig",
+    "PgssController",
 ]

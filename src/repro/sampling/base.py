@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..config import DEFAULT_MACHINE, MachineConfig
 from ..cpu.engine import ModeAccounting
+from ..errors import EstimateError
 from ..program import Program
 from ..stats.ci import ConfidenceInterval
 
@@ -46,7 +48,18 @@ class SamplingResult:
     extras: Dict[str, Any] = field(default_factory=dict)
 
     def percent_error(self, true_ipc: float) -> float:
-        """Absolute error vs *true_ipc*, in percent."""
+        """Absolute error vs *true_ipc*, in percent.
+
+        Raises:
+            EstimateError: when *true_ipc* is zero — relative error is
+                undefined against a zero reference (an all-stall ground
+                truth usually means the reference run is itself broken).
+        """
+        if true_ipc == 0.0:
+            raise EstimateError(
+                "percent error is undefined for true_ipc == 0; the "
+                "reference run measured no retired instructions per cycle"
+            )
         return 100.0 * abs(self.ipc_estimate - true_ipc) / abs(true_ipc)
 
     def __repr__(self) -> str:
@@ -57,12 +70,14 @@ class SamplingResult:
         )
 
 
-class SamplingTechnique:
+class SamplingTechnique(abc.ABC):
     """Base class: configure once, run on any program.
 
     Subclasses implement :meth:`run`; they may accept a pre-collected
     :class:`~repro.sampling.ReferenceTrace` to reuse profiling work where
-    the real technique would rerun functional simulation.
+    the real technique would rerun functional simulation.  ``run`` is
+    abstract, so a technique that forgets to override it fails at class
+    definition rather than mid-experiment.
     """
 
     #: Human-readable technique name, set by subclasses.
@@ -71,6 +86,6 @@ class SamplingTechnique:
     def __init__(self, machine: MachineConfig = DEFAULT_MACHINE) -> None:
         self.machine = machine
 
+    @abc.abstractmethod
     def run(self, program: Program, **kwargs: Any) -> SamplingResult:
         """Apply the technique to *program* and return its result."""
-        raise NotImplementedError

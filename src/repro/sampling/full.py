@@ -13,7 +13,7 @@ authors extracted from their own full simulations.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -21,8 +21,16 @@ from ..bbv import BbvTracker, ReducedBbvHash
 from ..config import DEFAULT_MACHINE, MachineConfig
 from ..cpu import Mode, SimulationEngine
 from ..errors import SamplingError
+from ..events import EstimateUpdated, EventBus
 from ..program import Program
 from .base import SamplingResult, SamplingTechnique
+from .session import (
+    ModeSegment,
+    SamplingSession,
+    SegmentPlan,
+    SegmentRole,
+    run_to_end_plan,
+)
 
 __all__ = ["FullDetail", "ReferenceTrace", "collect_reference_trace"]
 
@@ -159,6 +167,7 @@ def collect_reference_trace(
     window_ops: int,
     machine: MachineConfig = DEFAULT_MACHINE,
     hash_seed: int = 12345,
+    bus: Optional[EventBus] = None,
 ) -> ReferenceTrace:
     """Run *program* fully in detail, recording per-window (ops, cycles, BBV).
 
@@ -168,21 +177,29 @@ def collect_reference_trace(
         machine: machine configuration.
         hash_seed: seed of the 5-bit BBV hash (must match the hash used by
             online techniques for trace-derived analyses to be comparable).
+        bus: optional event bus observing the instrumented pass.
     """
     if window_ops <= 0:
         raise SamplingError("window_ops must be positive")
     tracker = BbvTracker(ReducedBbvHash(seed=hash_seed))
     engine = SimulationEngine(program, machine=machine, bbv_tracker=tracker)
-    ops_list = []
-    cycles_list = []
-    bbv_list = []
-    while not engine.exhausted:
-        run = engine.run(Mode.DETAIL, window_ops)
-        if run.ops == 0:
-            break
-        ops_list.append(run.ops)
-        cycles_list.append(run.cycles)
-        bbv_list.append(tracker.take_vector(normalize=False))
+    session = SamplingSession(engine, bus=bus)
+    ops_list: List[int] = []
+    cycles_list: List[int] = []
+    bbv_list: List[np.ndarray] = []
+
+    def plan() -> SegmentPlan:
+        while not engine.exhausted:
+            outcome = yield ModeSegment(
+                Mode.DETAIL, window_ops, role=SegmentRole.PROFILE
+            )
+            if outcome.run.ops == 0:
+                break
+            ops_list.append(outcome.run.ops)
+            cycles_list.append(outcome.run.cycles)
+            bbv_list.append(tracker.take_vector(normalize=False))
+
+    session.execute(plan())
     return ReferenceTrace(
         program=program.name,
         window_ops_target=window_ops,
@@ -197,16 +214,28 @@ class FullDetail(SamplingTechnique):
 
     name = "FullDetail"
 
-    def run(self, program: Program, **kwargs: Any) -> SamplingResult:
+    def run(
+        self, program: Program, bus: Optional[EventBus] = None, **kwargs: Any
+    ) -> SamplingResult:
         """Simulate every operation cycle-accurately; exact IPC, max cost."""
         engine = SimulationEngine(program, machine=self.machine)
-        result = engine.run_to_end(Mode.DETAIL)
+        session = SamplingSession(engine, bus=bus)
+        session.execute(run_to_end_plan(Mode.DETAIL, measure=True))
+        total_ops = sum(s.ops for s in session.samples)
+        total_cycles = sum(s.cycles for s in session.samples)
+        ipc = total_ops / total_cycles if total_cycles else 0.0
+        if bus is not None:
+            bus.emit(
+                EstimateUpdated(
+                    technique=self.name, ipc=ipc, n_samples=0, final=True
+                )
+            )
         return SamplingResult(
             technique=self.name,
             program=program.name,
-            ipc_estimate=result.ipc,
-            detailed_ops=result.ops,
-            total_ops=result.ops,
+            ipc_estimate=ipc,
+            detailed_ops=total_ops,
+            total_ops=total_ops,
             n_samples=0,
             accounting=engine.accounting,
         )

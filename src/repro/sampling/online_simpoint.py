@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..config import DEFAULT_MACHINE, MachineConfig
+from ..cpu import ModeAccounting
 from ..errors import ConfigurationError, SamplingError
+from ..events import EstimateUpdated, EventBus
 from ..phase import OnlinePhaseClassifier
 from ..program import Program
 from ..stats.estimators import stratified_ratio_ipc
@@ -82,6 +84,7 @@ class OnlineSimPoint(SamplingTechnique):
         self,
         program: Program,
         trace: Optional[ReferenceTrace] = None,
+        bus: Optional[EventBus] = None,
         **kwargs: Any,
     ) -> SamplingResult:
         """Classify intervals online; detail the first interval per phase.
@@ -92,6 +95,8 @@ class OnlineSimPoint(SamplingTechnique):
                 and IPCs; when omitted a live profiling pass collects the
                 BBVs and the intervals' IPCs are measured with a live
                 second pass through :class:`SimPoint`'s machinery.
+            bus: optional event bus; receives :class:`PhaseChange` events
+                from the classifier and the final estimate.
         """
         cfg = self.config
         if trace is None:
@@ -99,7 +104,7 @@ class OnlineSimPoint(SamplingTechnique):
                 SimPointConfig(cfg.interval_ops, 1, hash_seed=cfg.hash_seed),
                 machine=self.machine,
             )
-            intervals = profiler.profile_intervals(program)
+            intervals = profiler.profile_intervals(program, bus=bus)
             have_ipc = False
         else:
             intervals = trace.to_period(cfg.interval_ops)
@@ -108,7 +113,7 @@ class OnlineSimPoint(SamplingTechnique):
         if n < 2:
             raise SamplingError("need at least 2 intervals")
 
-        classifier = OnlinePhaseClassifier(cfg.threshold_pi * math.pi)
+        classifier = OnlinePhaseClassifier(cfg.threshold_pi * math.pi, bus=bus)
         points = intervals.normalized_bbvs()
         labels: List[int] = []
         for i in range(n):
@@ -121,6 +126,8 @@ class OnlineSimPoint(SamplingTechnique):
             if phase not in first_of_phase:
                 first_of_phase[phase] = i
 
+        accounting: Optional[ModeAccounting]
+        rep_counts: Dict[int, Tuple[int, int]]
         if have_ipc:
             rep_counts = {
                 p: (int(intervals.ops[i]), int(intervals.cycles[i]))
@@ -132,15 +139,14 @@ class OnlineSimPoint(SamplingTechnique):
                 SimPointConfig(cfg.interval_ops, 1, hash_seed=cfg.hash_seed),
                 machine=self.machine,
             )
-            measured = profiler._measure_representatives(
-                program, sorted(first_of_phase.values())
+            measured, accounting = profiler._measure_representatives(
+                program, sorted(first_of_phase.values()), bus=bus
             )
             rep_counts = {
                 p: measured[i]
                 for p, i in first_of_phase.items()
                 if i in measured
             }
-            accounting = profiler._last_accounting
 
         label_arr = np.array(labels)
         ops_per_phase = {
@@ -150,6 +156,15 @@ class OnlineSimPoint(SamplingTechnique):
         estimate = stratified_ratio_ipc(ops_per_phase, samples_per_phase)
 
         detailed_ops = len(rep_counts) * cfg.interval_ops
+        if bus is not None:
+            bus.emit(
+                EstimateUpdated(
+                    technique=self.name,
+                    ipc=estimate.ipc,
+                    n_samples=len(rep_counts),
+                    final=True,
+                )
+            )
         result = SamplingResult(
             technique=self.name,
             program=program.name,

@@ -13,6 +13,14 @@ The Figure 5 flow, implemented literally:
    phase;
 5. repeat until the program completes.
 
+The loop is a *dynamic* sampling plan: a generator over
+:class:`~repro.sampling.session.ModeSegment`\\ s whose next segment
+depends on the classifier's CI state, with a :data:`PAUSE` marker at the
+bottom of each Fig. 5 iteration.  :class:`PgssController` binds that plan
+to a :class:`~repro.sampling.session.SessionDriver`, so ``Pgss.run`` and
+the multicore scheduler's per-core ``step()`` interleaving are literally
+the same code path.
+
 The estimate is the ops-weighted sum of per-phase mean sample IPCs —
 "PGSS-Sim automatically takes more samples in phases which occur a great
 deal or have a high amount of variance in performance and fewer samples in
@@ -23,16 +31,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Generator, List, Optional, Tuple
 
 from ..bbv import BbvTracker, ReducedBbvHash, WideBbvHash
 from ..config import DEFAULT_MACHINE, MachineConfig, ScaleConfig
 from ..cpu import Mode, SimulationEngine
 from ..errors import ConfigurationError, SamplingError
-from ..phase import OnlinePhaseClassifier
+from ..events import EstimateUpdated, EventBus
+from ..phase import OnlinePhaseClassifier, PhaseProfile
 from ..program import Program
 from ..stats.estimators import stratified_ratio_ipc
 from .base import SamplingResult, SamplingTechnique
+from .session import (
+    PAUSE,
+    ModeSegment,
+    SamplingSession,
+    SegmentPlan,
+    SegmentRole,
+    SessionDriver,
+)
 
 __all__ = ["PgssConfig", "Pgss", "PgssController"]
 
@@ -100,12 +117,13 @@ class PgssConfig:
         **overrides: Any,
     ) -> "PgssConfig":
         """The scale's canonical PGSS configuration (paper best: 1M/.05)."""
+        budget = scale.sample_budget
         params = dict(
-            detail_ops=scale.smarts_detail,
-            warmup_ops=scale.smarts_warmup,
+            detail_ops=budget.detail_ops,
+            warmup_ops=budget.warmup_ops,
             spread_ops=scale.pgss_spread,
-            rel_error=scale.turbo_rel_error,
-            confidence=scale.turbo_confidence,
+            rel_error=budget.rel_error,
+            confidence=budget.confidence,
         )
         params.update(overrides)
         return cls(
@@ -144,72 +162,79 @@ class Pgss(SamplingTechnique):
             return BbvTracker(WideBbvHash(cfg.wide_bbv_buckets))
         return BbvTracker(ReducedBbvHash(seed=cfg.hash_seed))
 
-    def _phase_needs_sample(self, phase, op_offset: int) -> bool:
-        """The two Fig. 5 decision diamonds after classification."""
-        cfg = self.config
-        if cfg.fixed_samples_per_phase is not None:
-            if phase.n_samples >= cfg.fixed_samples_per_phase:
-                return False
-        elif phase.within_bounds(cfg.rel_error, cfg.confidence, cfg.min_samples):
-            return False
-        if (
-            cfg.use_spread_rule
-            and phase.last_sample_op is not None
-            and op_offset - phase.last_sample_op < cfg.spread_ops
-        ):
-            return False
-        return True
-
-    def make_controller(self, engine: SimulationEngine) -> "PgssController":
+    def make_controller(
+        self, engine: SimulationEngine, bus: Optional[EventBus] = None
+    ) -> "PgssController":
         """Bind a stepping controller to an engine built for this config.
 
         The engine must carry a tracker from :meth:`_make_tracker` (the
         controller reads the BBV register file at each period boundary).
         """
-        return PgssController(engine, self.config)
+        return PgssController(engine, self.config, bus=bus)
 
-    def run(self, program: Program, **kwargs: Any) -> SamplingResult:
+    def run(
+        self, program: Program, bus: Optional[EventBus] = None, **kwargs: Any
+    ) -> SamplingResult:
         """Execute the Fig. 5 loop over *program*."""
         engine = SimulationEngine(
             program, machine=self.machine, bbv_tracker=self._make_tracker()
         )
-        controller = PgssController(engine, self.config)
-        while controller.step():
-            pass
+        controller = PgssController(engine, self.config, bus=bus)
+        controller.run()
         return controller.result()
 
 
 class PgssController:
     """Incremental executor of the Fig. 5 loop.
 
-    One :meth:`step` call performs one loop iteration: fast-forward a BBV
-    period (with the first call additionally taking the Fig. 5 START
-    sample), classify the period, and take a detailed sample if the
-    current phase needs one.  The stepping interface is what lets the
-    multicore extension (paper Section 7) interleave several cores'
-    PGSS loops over a shared memory hierarchy.
+    The loop is expressed once, as a dynamic sampling plan (a generator
+    of :class:`~repro.sampling.session.ModeSegment`\\ s with a
+    :data:`PAUSE` at the bottom of each iteration), and executed by a
+    :class:`~repro.sampling.session.SessionDriver`.  One :meth:`step`
+    call performs one loop iteration: fast-forward a BBV period (with
+    the first call additionally taking the Fig. 5 START sample),
+    classify the period, and take a detailed sample if the current phase
+    needs one.  The stepping interface is what lets the multicore
+    extension (paper Section 7) interleave several cores' PGSS loops
+    over a shared memory hierarchy; :meth:`Pgss.run` drives the very
+    same plan to completion.
     """
 
-    def __init__(self, engine: SimulationEngine, config: PgssConfig) -> None:
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        config: PgssConfig,
+        bus: Optional[EventBus] = None,
+    ) -> None:
         if engine.bbv_tracker is None:
             raise ConfigurationError("PGSS requires an engine with a BBV tracker")
         self.engine = engine
         self.config = config
+        self.session = SamplingSession(engine, bus=bus)
         self.classifier = OnlinePhaseClassifier(
-            config.threshold_pi * math.pi, metric=config.metric
+            config.threshold_pi * math.pi,
+            metric=config.metric,
+            bus=self.session.bus,
         )
-        self.n_samples = 0
-        #: Program op offsets at which detailed samples were taken.
-        self.sample_offsets: list = []
-        self._pending: Optional[tuple] = None  # (ipc, ops, cycles, offset)
+        self._pending: Optional[Tuple[float, int, int, int]] = None
         #: Ops executed since the last classification (attributed to the
         #: phase chosen at the next period boundary).
         self._ops_unattributed = 0
-        self._started = False
         self._finished = False
         self._ff_ops = config.bbv_period_ops - config.warmup_ops - config.detail_ops
+        self._driver = SessionDriver(self.session, self._fig5_plan())
 
-    def _phase_needs_sample(self, phase, op_offset: int) -> bool:
+    @property
+    def n_samples(self) -> int:
+        """Detailed samples taken so far."""
+        return self.session.n_samples
+
+    @property
+    def sample_offsets(self) -> List[int]:
+        """Program op offsets at which detailed samples were taken."""
+        return [s.op_offset for s in self.session.samples]
+
+    def _phase_needs_sample(self, phase: PhaseProfile, op_offset: int) -> bool:
         """The two Fig. 5 decision diamonds after classification."""
         cfg = self.config
         if cfg.fixed_samples_per_phase is not None:
@@ -225,69 +250,83 @@ class PgssController:
             return False
         return True
 
-    def _take_sample(self) -> Optional[tuple]:
-        """Detailed warm-up + sample; returns (ipc, ops, cycles)."""
+    def _sample_plan(
+        self,
+    ) -> Generator[ModeSegment, Any, Optional[Tuple[float, int, int]]]:
+        """Sub-plan: detailed warm-up + measured sample.
+
+        Yields the two segments and returns ``(ipc, ops, cycles)``, or
+        ``None`` when the program ended during warm-up or the sample
+        measured nothing.
+        """
         cfg = self.config
-        engine = self.engine
         if cfg.warmup_ops:
-            warm = engine.run(Mode.DETAIL_WARM, cfg.warmup_ops)
-            self._ops_unattributed += warm.ops
-            if engine.exhausted:
+            warm = yield ModeSegment(
+                Mode.DETAIL_WARM, cfg.warmup_ops, role=SegmentRole.WARMUP
+            )
+            self._ops_unattributed += warm.run.ops
+            if self.engine.exhausted:
                 return None
-        run = engine.run(Mode.DETAIL, cfg.detail_ops)
-        self._ops_unattributed += run.ops
-        if run.ops and run.cycles:
-            self.n_samples += 1
-            self.sample_offsets.append(engine.ops_completed - run.ops)
-            return (run.ipc, run.ops, run.cycles)
+        out = yield ModeSegment(
+            Mode.DETAIL, cfg.detail_ops, role=SegmentRole.SAMPLE, measure=True
+        )
+        self._ops_unattributed += out.run.ops
+        if out.sample is not None:
+            return (out.run.ipc, out.run.ops, out.run.cycles)
         return None
 
-    def step(self) -> bool:
-        """Run one Fig. 5 iteration; returns False once the program ends."""
-        if self._finished:
-            return False
+    def _fig5_plan(self) -> SegmentPlan:
+        """The Fig. 5 loop as a dynamic sampling plan."""
         engine = self.engine
         classifier = self.classifier
 
-        if not self._started:
-            # Fig. 5 START: warm-up + first sample before any phase
-            # information exists; credited to the first period's phase.
-            self._started = True
-            first = self._take_sample()
-            if first is not None:
-                self._pending = (*first, engine.ops_completed)
+        # Fig. 5 START: warm-up + first sample before any phase
+        # information exists; credited to the first period's phase.
+        first = yield from self._sample_plan()
+        if first is not None:
+            self._pending = (*first, engine.ops_completed)
 
-        if engine.exhausted:
-            self._wrap_up()
-            return False
-
-        run = engine.run(Mode.FUNC_WARM, self._ff_ops)
-        self._ops_unattributed += run.ops
-        vector = engine.bbv_tracker.take_vector(normalize=True)
-        classifier.observe(vector, self._ops_unattributed)
-        self._ops_unattributed = 0
-        phase = classifier.current_phase
-        if self._pending is not None:
-            ipc, s_ops, s_cycles, offset = self._pending
-            phase.add_sample(ipc, offset, ops=s_ops, cycles=s_cycles)
-            self._pending = None
-        if engine.exhausted:
-            self._wrap_up()
-            return False
-        if self._phase_needs_sample(phase, engine.ops_completed):
-            sample = self._take_sample()
-            if sample is not None:
-                ipc, s_ops, s_cycles = sample
-                phase.add_sample(
-                    ipc, engine.ops_completed, ops=s_ops, cycles=s_cycles
-                )
-            # Ops of the sample region belong to the current phase.
-            phase.add_ops(self._ops_unattributed)
+        while True:
+            if engine.exhausted:
+                self._wrap_up()
+                return
+            ff = yield ModeSegment(
+                Mode.FUNC_WARM, self._ff_ops, role=SegmentRole.FAST_FORWARD
+            )
+            self._ops_unattributed += ff.run.ops
+            vector = engine.bbv_tracker.take_vector(normalize=True)
+            classifier.observe(vector, self._ops_unattributed)
             self._ops_unattributed = 0
-        if engine.exhausted:
-            self._wrap_up()
-            return False
-        return True
+            phase = classifier.current_phase
+            if self._pending is not None:
+                ipc, s_ops, s_cycles, offset = self._pending
+                phase.add_sample(ipc, offset, ops=s_ops, cycles=s_cycles)
+                self._pending = None
+            if engine.exhausted:
+                self._wrap_up()
+                return
+            if self._phase_needs_sample(phase, engine.ops_completed):
+                sample = yield from self._sample_plan()
+                if sample is not None:
+                    ipc, s_ops, s_cycles = sample
+                    phase.add_sample(
+                        ipc, engine.ops_completed, ops=s_ops, cycles=s_cycles
+                    )
+                # Ops of the sample region belong to the current phase.
+                phase.add_ops(self._ops_unattributed)
+                self._ops_unattributed = 0
+            if engine.exhausted:
+                self._wrap_up()
+                return
+            yield PAUSE
+
+    def step(self) -> bool:
+        """Run one Fig. 5 iteration; returns False once the program ends."""
+        return self._driver.step()
+
+    def run(self) -> None:
+        """Drive the plan to completion."""
+        self._driver.run()
 
     def _wrap_up(self) -> None:
         classifier = self.classifier
@@ -324,6 +363,14 @@ class PgssController:
             p.phase_id: p.sample_ops_cycles for p in classifier.phases
         }
         estimate = stratified_ratio_ipc(ops_per_phase, samples_per_phase)
+        self.session.bus.emit(
+            EstimateUpdated(
+                technique=Pgss.name,
+                ipc=estimate.ipc,
+                n_samples=self.n_samples,
+                final=True,
+            )
+        )
         return SamplingResult(
             technique=Pgss.name,
             program=engine.program.name,

@@ -10,25 +10,29 @@ tested by performing an off-line clustering of the reduced BBV data from
 PGSS simulation"), clustering operates on the reduced 32-entry BBVs.  The
 profiling pass can reuse a pre-collected :class:`ReferenceTrace` (the
 default, since the trace also provides each interval's detailed IPC), or
-run the two passes live on a fresh engine.
+run the two passes live on a fresh engine.  Both live passes are
+expressed as sampling-session plans: a profile-only plan for the BBV
+pass, and a fast-forward/measure plan for the representatives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..bbv import BbvTracker, ReducedBbvHash
 from ..clustering import choose_k, kmeans
 from ..config import DEFAULT_MACHINE, MachineConfig
-from ..cpu import Mode, SimulationEngine
+from ..cpu import Mode, ModeAccounting, SimulationEngine
 from ..errors import ConfigurationError, SamplingError
+from ..events import EstimateUpdated, EventBus
 from ..program import Program
 from ..stats.estimators import stratified_ratio_ipc
 from .base import SamplingResult, SamplingTechnique
 from .full import ReferenceTrace
+from .session import ModeSegment, SamplingSession, SegmentPlan, SegmentRole
 
 __all__ = ["SimPointConfig", "SimPoint"]
 
@@ -89,7 +93,9 @@ class SimPoint(SamplingTechnique):
         super().__init__(machine)
         self.config = config
 
-    def profile_intervals(self, program: Program) -> ReferenceTrace:
+    def profile_intervals(
+        self, program: Program, bus: Optional[EventBus] = None
+    ) -> ReferenceTrace:
         """Live profiling pass: per-interval raw BBVs via fast-forwarding.
 
         Cycle columns are zero — profiling is purely functional, exactly as
@@ -99,14 +105,21 @@ class SimPoint(SamplingTechnique):
         cfg = self.config
         tracker = BbvTracker(ReducedBbvHash(seed=cfg.hash_seed))
         engine = SimulationEngine(program, machine=self.machine, bbv_tracker=tracker)
+        session = SamplingSession(engine, bus=bus)
         ops_list: List[int] = []
         bbv_list: List[np.ndarray] = []
-        while not engine.exhausted:
-            run = engine.run(Mode.FUNC_FAST, cfg.interval_ops)
-            if run.ops == 0:
-                break
-            ops_list.append(run.ops)
-            bbv_list.append(tracker.take_vector(normalize=False))
+
+        def plan() -> SegmentPlan:
+            while not engine.exhausted:
+                outcome = yield ModeSegment(
+                    Mode.FUNC_FAST, cfg.interval_ops, role=SegmentRole.PROFILE
+                )
+                if outcome.run.ops == 0:
+                    break
+                ops_list.append(outcome.run.ops)
+                bbv_list.append(tracker.take_vector(normalize=False))
+
+        session.execute(plan())
         return ReferenceTrace(
             program=program.name,
             window_ops_target=cfg.interval_ops,
@@ -116,37 +129,53 @@ class SimPoint(SamplingTechnique):
         )
 
     def _measure_representatives(
-        self, program: Program, rep_indices: List[int]
-    ) -> Dict[int, tuple]:
+        self,
+        program: Program,
+        rep_indices: List[int],
+        bus: Optional[EventBus] = None,
+    ) -> Tuple[Dict[int, Tuple[int, int]], ModeAccounting]:
         """Live second pass: detail-simulate the chosen intervals.
 
         Fast-forwards (with functional warming) between representatives and
         runs each chosen interval cycle-accurately.  Returns interval index
-        -> measured ``(ops, cycles)``.  The engine accounting is stored on
-        ``self._last_accounting``.
+        -> measured ``(ops, cycles)`` plus the engine's accounting.
         """
         cfg = self.config
         engine = SimulationEngine(program, machine=self.machine)
+        session = SamplingSession(engine, bus=bus)
         wanted = sorted(set(rep_indices))
-        counts: Dict[int, tuple] = {}
-        interval = 0
-        for target in wanted:
-            while interval < target and not engine.exhausted:
-                engine.run(Mode.FUNC_WARM, cfg.interval_ops)
+        counts: Dict[int, Tuple[int, int]] = {}
+
+        def plan() -> SegmentPlan:
+            interval = 0
+            for target in wanted:
+                while interval < target and not engine.exhausted:
+                    yield ModeSegment(
+                        Mode.FUNC_WARM,
+                        cfg.interval_ops,
+                        role=SegmentRole.FAST_FORWARD,
+                    )
+                    interval += 1
+                if engine.exhausted:
+                    break
+                outcome = yield ModeSegment(
+                    Mode.DETAIL,
+                    cfg.interval_ops,
+                    role=SegmentRole.SAMPLE,
+                    measure=True,
+                )
                 interval += 1
-            if engine.exhausted:
-                break
-            run = engine.run(Mode.DETAIL, cfg.interval_ops)
-            interval += 1
-            if run.ops and run.cycles:
-                counts[target] = (run.ops, run.cycles)
-        self._last_accounting = engine.accounting
-        return counts
+                if outcome.run.ops and outcome.run.cycles:
+                    counts[target] = (outcome.run.ops, outcome.run.cycles)
+
+        session.execute(plan())
+        return counts, engine.accounting
 
     def run(
         self,
         program: Program,
         trace: Optional[ReferenceTrace] = None,
+        bus: Optional[EventBus] = None,
         **kwargs: Any,
     ) -> SamplingResult:
         """Cluster interval BBVs and estimate IPC from representatives.
@@ -157,13 +186,14 @@ class SimPoint(SamplingTechnique):
                 the interval BBVs and the representatives' IPCs come from
                 it (its full-detail pass subsumes SimPoint's detail phase).
                 When omitted, both passes run live.
+            bus: optional event bus observing the live passes.
         """
         cfg = self.config
         if trace is not None:
             intervals = trace.to_period(cfg.interval_ops)
             have_ipc = True
         else:
-            intervals = self.profile_intervals(program)
+            intervals = self.profile_intervals(program, bus=bus)
             have_ipc = False
         n = intervals.n_windows
         points = intervals.normalized_bbvs()
@@ -187,6 +217,7 @@ class SimPoint(SamplingTechnique):
         reps = clustering.representative_indices()
         sizes = clustering.cluster_sizes()
 
+        accounting: Optional[ModeAccounting]
         if have_ipc:
             rep_counts = {
                 int(reps[c]): (
@@ -198,15 +229,14 @@ class SimPoint(SamplingTechnique):
             }
             accounting = None
         else:
-            rep_counts = self._measure_representatives(
-                program, [int(r) for r in reps if r >= 0]
+            rep_counts, accounting = self._measure_representatives(
+                program, [int(r) for r in reps if r >= 0], bus=bus
             )
-            accounting = self._last_accounting
 
         # SimPoint combines per-cluster CPI weighted by cluster size; with
         # equal-length intervals this is the exact ratio estimator.
-        ops_per_cluster = {}
-        samples_per_cluster = {}
+        ops_per_cluster: Dict[int, int] = {}
+        samples_per_cluster: Dict[int, List[Tuple[int, int]]] = {}
         for c in range(n_clusters):
             if reps[c] < 0 or sizes[c] == 0:
                 continue
@@ -218,6 +248,15 @@ class SimPoint(SamplingTechnique):
 
         n_points = len(samples_per_cluster)
         detailed_ops = n_points * cfg.interval_ops
+        if bus is not None:
+            bus.emit(
+                EstimateUpdated(
+                    technique=self.name,
+                    ipc=estimate.ipc,
+                    n_samples=n_points,
+                    final=True,
+                )
+            )
         result = SamplingResult(
             technique=self.name,
             program=program.name,

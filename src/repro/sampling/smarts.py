@@ -7,25 +7,30 @@ with caches and branch predictors kept warm, and "each detailed simulation
 period is immediately preceded by an interval of three or four thousand
 instructions of detailed simulation in which statistics are not measured".
 
-The IPC estimate is the ratio estimator (total sampled ops over total
-sampled cycles); the per-sample IPC population additionally yields the
-normal-theory confidence interval whose unimodal-Gaussian assumption the
-paper criticises.
+The schedule is the canonical *static* sampling plan: one
+:func:`~repro.sampling.session.periodic_plan` executed by a
+:class:`~repro.sampling.session.SamplingSession`.  The IPC estimate is
+the ratio estimator (total sampled ops over total sampled cycles); the
+per-sample IPC population additionally yields the normal-theory
+confidence interval whose unimodal-Gaussian assumption the paper
+criticises.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, List, Optional, Tuple
 
 from ..config import DEFAULT_MACHINE, MachineConfig, ScaleConfig
-from ..cpu import Mode, SimulationEngine
+from ..cpu import Mode, ModeAccounting, SimulationEngine
 from ..errors import ConfigurationError, SamplingError
+from ..events import EstimateUpdated, EventBus
 from ..program import Program
 from ..stats.ci import normal_ci
 from .base import SamplingResult, SamplingTechnique
+from .session import SamplingSession, periodic_plan
 
-__all__ = ["SmartsConfig", "Smarts"]
+__all__ = ["SmartsConfig", "Smarts", "SmartsSample"]
 
 
 @dataclass(frozen=True)
@@ -62,11 +67,12 @@ class SmartsConfig:
     @classmethod
     def from_scale(cls, scale: ScaleConfig) -> "SmartsConfig":
         """The scale's canonical SMARTS configuration."""
+        budget = scale.sample_budget
         return cls(
             period_ops=scale.smarts_period,
-            detail_ops=scale.smarts_detail,
-            warmup_ops=scale.smarts_warmup,
-            confidence=scale.turbo_confidence,
+            detail_ops=budget.detail_ops,
+            warmup_ops=budget.warmup_ops,
+            confidence=budget.confidence,
         )
 
 
@@ -96,7 +102,9 @@ class Smarts(SamplingTechnique):
         super().__init__(machine)
         self.config = config
 
-    def collect_samples(self, program: Program) -> tuple:
+    def collect_samples(
+        self, program: Program, bus: Optional[EventBus] = None
+    ) -> Tuple[List[SmartsSample], ModeAccounting]:
         """One warmed pass over *program*; returns (samples, accounting).
 
         Shared with :class:`~repro.sampling.TurboSmarts`, which replays the
@@ -104,37 +112,30 @@ class Smarts(SamplingTechnique):
         """
         cfg = self.config
         engine = SimulationEngine(program, machine=self.machine)
+        session = SamplingSession(engine, bus=bus)
         ff_ops = cfg.period_ops - cfg.warmup_ops - cfg.detail_ops
         ff_mode = Mode.FUNC_WARM if cfg.functional_warming else Mode.FUNC_FAST
-        samples: List[SmartsSample] = []
-        index = 0
-        while not engine.exhausted:
-            engine.run(ff_mode, ff_ops)
-            if engine.exhausted:
-                break
-            if cfg.warmup_ops:
-                engine.run(Mode.DETAIL_WARM, cfg.warmup_ops)
-                if engine.exhausted:
-                    break
-            offset = engine.ops_completed
-            run = engine.run(Mode.DETAIL, cfg.detail_ops)
-            if run.ops and run.cycles:
-                samples.append(
-                    SmartsSample(
-                        index=index, op_offset=offset, ops=run.ops, cycles=run.cycles
-                    )
-                )
-                index += 1
+        session.execute(
+            periodic_plan(ff_mode, ff_ops, cfg.warmup_ops, cfg.detail_ops)
+        )
+        samples = [
+            SmartsSample(
+                index=s.index, op_offset=s.op_offset, ops=s.ops, cycles=s.cycles
+            )
+            for s in session.samples
+        ]
         return samples, engine.accounting
 
-    def run(self, program: Program, **kwargs: Any) -> SamplingResult:
+    def run(
+        self, program: Program, bus: Optional[EventBus] = None, **kwargs: Any
+    ) -> SamplingResult:
         """Estimate IPC from evenly spaced small samples.
 
         Raises:
             SamplingError: when the program is too short for even one
                 sample at the configured period.
         """
-        samples, accounting = self.collect_samples(program)
+        samples, accounting = self.collect_samples(program, bus=bus)
         if not samples:
             raise SamplingError(
                 f"{program.name} ended before the first sample; shrink "
@@ -144,6 +145,15 @@ class Smarts(SamplingTechnique):
         total_cycles = sum(s.cycles for s in samples)
         ipc = total_ops / total_cycles if total_cycles else 0.0
         ci = normal_ci([s.ipc for s in samples], self.config.confidence)
+        if bus is not None:
+            bus.emit(
+                EstimateUpdated(
+                    technique=self.name,
+                    ipc=ipc,
+                    n_samples=len(samples),
+                    final=True,
+                )
+            )
         return SamplingResult(
             technique=self.name,
             program=program.name,

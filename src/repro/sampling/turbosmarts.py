@@ -8,25 +8,26 @@ bound assumes a Gaussian sample population, so for phased (polymodal)
 programs "the absolute error typically falls well outside these bounds".
 
 Emulation note (see DESIGN.md): livepoint collection is replaced by one
-warmed SMARTS pass that measures every sample; the estimator then consumes
-them in random order exactly as TurboSMARTS would, and the reported
-detailed-op cost is ``consumed x (warmup + detail)`` — the cost the real
-system would pay.  The error and cost metrics are therefore exactly those
-of the real estimator.
+warmed SMARTS pass (the shared periodic session plan) that measures every
+sample; the estimator then consumes them in random order exactly as
+TurboSMARTS would, and the reported detailed-op cost is ``consumed x
+(warmup + detail)`` — the cost the real system would pay.  The error and
+cost metrics are therefore exactly those of the real estimator.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, List, Optional
 
 from ..config import DEFAULT_MACHINE, MachineConfig, ScaleConfig
 from ..errors import ConfigurationError, SamplingError
+from ..events import EstimateUpdated, EventBus
 from ..program import Program
-from ..stats.ci import normal_ci
+from ..stats.ci import ConfidenceInterval, normal_ci
 from .base import SamplingResult, SamplingTechnique
-from .smarts import Smarts, SmartsConfig
+from .smarts import Smarts, SmartsConfig, SmartsSample
 
 __all__ = ["TurboSmartsConfig", "TurboSmarts"]
 
@@ -60,10 +61,11 @@ class TurboSmartsConfig:
     @classmethod
     def from_scale(cls, scale: ScaleConfig) -> "TurboSmartsConfig":
         """The scale's canonical TurboSMARTS configuration."""
+        budget = scale.sample_budget
         return cls(
             smarts=SmartsConfig.from_scale(scale),
-            rel_error=scale.turbo_rel_error,
-            confidence=scale.turbo_confidence,
+            rel_error=budget.rel_error,
+            confidence=budget.confidence,
         )
 
 
@@ -78,12 +80,14 @@ class TurboSmarts(SamplingTechnique):
         super().__init__(machine)
         self.config = config
 
-    def run(self, program: Program, **kwargs: Any) -> SamplingResult:
+    def run(
+        self, program: Program, bus: Optional[EventBus] = None, **kwargs: Any
+    ) -> SamplingResult:
         """Consume the SMARTS sample universe in random order until the
         CI half-width is inside the relative-error target."""
         cfg = self.config
         collector = Smarts(cfg.smarts, machine=self.machine)
-        samples, accounting = collector.collect_samples(program)
+        samples, accounting = collector.collect_samples(program, bus=bus)
         if not samples:
             raise SamplingError(
                 f"{program.name} ended before the first sample; shrink "
@@ -93,13 +97,22 @@ class TurboSmarts(SamplingTechnique):
         order = list(range(len(samples)))
         random.Random(cfg.seed).shuffle(order)
 
-        consumed = []
-        ci = None
+        consumed: List[SmartsSample] = []
+        ci: Optional[ConfidenceInterval] = None
         for pos in order:
             consumed.append(samples[pos])
             if len(consumed) < cfg.min_samples:
                 continue
             ci = normal_ci([s.ipc for s in consumed], cfg.confidence)
+            if bus is not None:
+                bus.emit(
+                    EstimateUpdated(
+                        technique=self.name,
+                        ipc=ci.mean,
+                        n_samples=len(consumed),
+                        final=False,
+                    )
+                )
             if ci.within_relative(cfg.rel_error):
                 break
         if ci is None:
@@ -108,6 +121,15 @@ class TurboSmarts(SamplingTechnique):
         total_ops = sum(s.ops for s in consumed)
         total_cycles = sum(s.cycles for s in consumed)
         ipc = total_ops / total_cycles if total_cycles else 0.0
+        if bus is not None:
+            bus.emit(
+                EstimateUpdated(
+                    technique=self.name,
+                    ipc=ipc,
+                    n_samples=len(consumed),
+                    final=True,
+                )
+            )
         per_sample_cost = cfg.smarts.detail_ops + cfg.smarts.warmup_ops
         detailed_ops = len(consumed) * per_sample_cost
         return SamplingResult(

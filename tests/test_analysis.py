@@ -34,6 +34,7 @@ from repro.analysis.determinism import (
     WallClockRule,
 )
 from repro.analysis.hygiene import (
+    EngineModeEscapeRule,
     ForeignFrozenMutationRule,
     MissingAllRule,
     MutableDefaultRule,
@@ -338,6 +339,39 @@ class TestHygieneRules:
         """
         assert findings_for(ForeignFrozenMutationRule, src) == []
 
+    def test_hyg005_fires_on_literal_mode_scheduling(self):
+        src = """
+            def collect(engine):
+                engine.run(Mode.DETAIL, 1_000)
+                engine.run_to_end(cpu.Mode.FUNC_FAST)
+        """
+        assert rule_ids(findings_for(EngineModeEscapeRule, src)) == [
+            "HYG005",
+            "HYG005",
+        ]
+
+    def test_hyg005_silent_on_mode_variables_and_other_calls(self):
+        src = """
+            def drive(engine, mode):
+                engine.run(mode, 1_000)
+                engine.run_to_end(mode)
+                technique.run(program)
+                session.run_segment(segment)
+        """
+        assert findings_for(EngineModeEscapeRule, src) == []
+
+    def test_hyg005_exempts_the_session_kernel(self):
+        src = """
+            def run_segment(self, segment):
+                return self.engine.run(Mode.DETAIL, 100)
+        """
+        assert findings_for(
+            EngineModeEscapeRule, src, "repro/sampling/session.py"
+        ) == []
+        assert rule_ids(
+            findings_for(EngineModeEscapeRule, src, "repro/sampling/smarts.py")
+        ) == ["HYG005"]
+
 
 class TestUnitsRule:
     def test_uni001_fires_on_additive_mixing(self):
@@ -561,28 +595,30 @@ class TestRealTree:
     def test_typing_gate_packages_fully_annotated(self):
         """AST-level stand-in for mypy's disallow_untyped_defs gate."""
         missing = []
-        for pkg in ("analysis", "bbv", "program", "stats"):
-            for path in sorted((SRC_REPRO / pkg).rglob("*.py")):
-                tree = ast.parse(path.read_text())
-                for node in ast.walk(tree):
-                    if not isinstance(
-                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
-                    ):
-                        continue
-                    args = node.args
-                    unannotated = [
-                        a.arg
-                        for a in (
-                            args.posonlyargs + args.args + args.kwonlyargs
-                        )
-                        if a.annotation is None
-                        and a.arg not in ("self", "cls")
-                    ]
-                    if node.returns is None and node.name != "__init__":
-                        unannotated.append("return")
-                    if unannotated:
-                        missing.append(
-                            f"{path.name}:{node.lineno} {node.name} "
-                            f"{unannotated}"
-                        )
+        gated = [SRC_REPRO / "events.py"]
+        for pkg in ("analysis", "bbv", "program", "sampling", "stats"):
+            gated.extend(sorted((SRC_REPRO / pkg).rglob("*.py")))
+        for path in gated:
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                args = node.args
+                unannotated = [
+                    a.arg
+                    for a in (
+                        args.posonlyargs + args.args + args.kwonlyargs
+                    )
+                    if a.annotation is None
+                    and a.arg not in ("self", "cls")
+                ]
+                if node.returns is None and node.name != "__init__":
+                    unannotated.append("return")
+                if unannotated:
+                    missing.append(
+                        f"{path.name}:{node.lineno} {node.name} "
+                        f"{unannotated}"
+                    )
         assert not missing, missing

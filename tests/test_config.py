@@ -144,3 +144,49 @@ class TestScaleConfig:
                 turbo_confidence=1.5,
                 trace_window=100,
             )
+
+
+class TestSampleBudget:
+    """The shared from_scale helper (paper Table 1 parameters)."""
+
+    def test_paper_values_match_table1(self):
+        budget = Scale.PAPER.sample_budget
+        assert budget.detail_ops == 1_000
+        assert budget.warmup_ops == 3_000
+        assert budget.rel_error == 0.03
+        assert budget.confidence == 0.997
+        assert Scale.PAPER.smarts_period == 1_000_000
+        assert Scale.PAPER.pgss_spread == 1_000_000
+
+    def test_ops_per_sample(self):
+        assert Scale.PAPER.sample_budget.ops_per_sample == 4_000
+
+    def test_from_scale_constructors_share_the_budget(self):
+        """Smarts/TurboSmarts/Pgss derive identical sample parameters."""
+        from repro.sampling import PgssConfig, SmartsConfig, TurboSmartsConfig
+
+        for scale in (Scale.PAPER, Scale.SCALED, Scale.QUICK):
+            budget = scale.sample_budget
+            smarts = SmartsConfig.from_scale(scale)
+            turbo = TurboSmartsConfig.from_scale(scale)
+            pgss = PgssConfig.from_scale(scale)
+            assert smarts.detail_ops == budget.detail_ops
+            assert smarts.warmup_ops == budget.warmup_ops
+            assert smarts.confidence == budget.confidence
+            assert turbo.smarts == smarts
+            assert turbo.rel_error == budget.rel_error
+            assert turbo.confidence == budget.confidence
+            assert pgss.detail_ops == budget.detail_ops
+            assert pgss.warmup_ops == budget.warmup_ops
+            assert pgss.rel_error == budget.rel_error
+            assert pgss.confidence == budget.confidence
+
+    def test_budget_is_validated(self):
+        from repro import SampleBudget
+
+        with pytest.raises(ConfigurationError):
+            SampleBudget(0, 100, 0.03, 0.997)
+        with pytest.raises(ConfigurationError):
+            SampleBudget(1000, 3000, -0.1, 0.997)
+        with pytest.raises(ConfigurationError):
+            SampleBudget(1000, 3000, 0.03, 1.5)
