@@ -1,0 +1,87 @@
+"""Incremental-lint bench: warm-cache re-analysis after one dirty file.
+
+Copies ``src/repro`` into a scratch tree, runs the whole-program
+analyzer twice against a fresh cache (cold fill, then fully-warm
+verification), dirties exactly one leaf module, and re-runs.  The CI
+smoke gate asserts that the dirty re-run extracts exactly the one
+changed module and re-analyzes under 25% of the tree — the whole point
+of keying the findings cache on import-closure content hashes.  Wall
+times and module counts land in ``results/BENCH_lint_incremental.json``.
+"""
+
+import json
+import platform
+import shutil
+import time
+from pathlib import Path
+
+from repro.analysis import default_project_rules, default_rules
+from repro.analysis.dataflow import AnalysisCache, analyze_project
+
+from conftest import record
+
+#: A leaf module nothing else imports — its closure is the smallest
+#: possible invalidation footprint.
+DIRTY_MODULE = "experiments/fig03_ipc_distribution.py"
+
+SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def _run(root, cache_path):
+    cache = AnalysisCache(cache_path)
+    start = time.perf_counter()  # simlint: disable=DET005
+    findings, stats = analyze_project(
+        [str(root)],
+        default_project_rules(),
+        ast_rules=default_rules(),
+        cache=cache,
+    )
+    elapsed = time.perf_counter() - start  # simlint: disable=DET005
+    return findings, stats, elapsed
+
+
+def test_incremental_lint(tmp_path, results_dir):
+    scratch = tmp_path / "repro"
+    shutil.copytree(SRC_REPRO, scratch)
+    cache_path = tmp_path / "lint.cache"
+
+    findings, cold, cold_s = _run(scratch, cache_path)
+    assert findings == [], [str(f) for f in findings]
+    assert cold.modules_extracted == cold.modules_total
+
+    _, warm, warm_s = _run(scratch, cache_path)
+    assert warm.modules_extracted == 0
+    assert warm.modules_analyzed == 0
+
+    target = scratch / DIRTY_MODULE
+    target.write_text(target.read_text() + "\n# bench: dirty marker\n")
+    _, dirty, dirty_s = _run(scratch, cache_path)
+
+    fraction = dirty.modules_analyzed / dirty.modules_total
+    assert dirty.modules_extracted == 1
+    assert fraction < 0.25, (
+        f"dirty re-run analyzed {dirty.modules_analyzed}/"
+        f"{dirty.modules_total} modules ({fraction:.0%}); incremental "
+        "invalidation should stay under 25%"
+    )
+
+    payload = {
+        "host": platform.node(),
+        "modules_total": dirty.modules_total,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "dirty_s": round(dirty_s, 3),
+        "dirty_modules_analyzed": dirty.modules_analyzed,
+        "dirty_fraction": round(fraction, 4),
+        "speedup_warm": round(cold_s / warm_s, 1) if warm_s else None,
+    }
+    (results_dir / "BENCH_lint_incremental.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    record(
+        results_dir,
+        "lint_incremental",
+        f"incremental lint: {dirty.modules_analyzed}/{dirty.modules_total} "
+        f"modules re-analyzed after 1 dirty file ({fraction:.0%}), "
+        f"warm run {warm_s * 1000:.0f} ms vs cold {cold_s * 1000:.0f} ms",
+    )

@@ -15,14 +15,35 @@ only spot-check but static analysis can police structurally:
 severities, ``# simlint: disable=RULE`` suppressions, text/JSON
 reporters); :mod:`~repro.analysis.determinism`,
 :mod:`~repro.analysis.leakage`, :mod:`~repro.analysis.hygiene` and
-:mod:`~repro.analysis.units` provide the domain rules.  The console
-script ``pgss-lint`` (see :mod:`repro.analysis.cli`) runs them all.
+:mod:`~repro.analysis.units` provide the per-module domain rules.
+
+On top of the per-module rules sits a whole-program layer (DESIGN.md
+§14): :mod:`~repro.analysis.dataflow` extracts a serialisable module
+IR and incremental analysis cache, :mod:`~repro.analysis.callgraph`
+and :mod:`~repro.analysis.taint` provide interprocedural reasoning,
+and four rule families consume them — oracle taint
+(:mod:`~repro.analysis.oracle_flow`, LEA1xx), RNG provenance
+(:mod:`~repro.analysis.rng_provenance`, DET1xx), event-bus protocol
+(:mod:`~repro.analysis.bus_protocol`, EVT1xx) and cache safety
+(:mod:`~repro.analysis.cache_safety`, CCH1xx).  The console script
+``pgss-lint`` (see :mod:`repro.analysis.cli`) runs them all, with a
+SARIF reporter (:mod:`~repro.analysis.sarif`) for CI annotation.
 """
 
 from __future__ import annotations
 
 from typing import List, Type
 
+from .bus_protocol import (
+    DeadEventRule,
+    ForeignEmitRule,
+    UnknownSubscriptionRule,
+)
+from .cache_safety import (
+    CacheDirWriteRule,
+    CellParamJsonRule,
+    DirectExperimentWriteRule,
+)
 from .core import (
     Finding,
     ModuleContext,
@@ -36,16 +57,32 @@ from .core import (
     render_json,
     render_text,
 )
+from .dataflow import AnalysisCache, ProjectRule, analyze_project
 from .determinism import DETERMINISM_RULES
 from .hygiene import HYGIENE_RULES
 from .leakage import LEAKAGE_RULES
+from .oracle_flow import (
+    OracleIntoBudgetRule,
+    OracleIntoPlanRule,
+    OracleIntoThresholdRule,
+)
+from .rng_provenance import (
+    GlobalRngRule,
+    MeasurePathDrawRule,
+    UnseededRngRule,
+)
+from .sarif import render_sarif
 from .units import UNITS_RULES
 
 __all__ = [
+    "AnalysisCache",
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Severity",
+    "analyze_project",
+    "default_project_rules",
     "default_rules",
     "iter_python_files",
     "lint_file",
@@ -53,12 +90,29 @@ __all__ = [
     "lint_source",
     "max_severity",
     "render_json",
+    "render_sarif",
     "render_text",
+]
+
+#: The whole-program rule families (DESIGN.md §14).
+PROJECT_RULES: List[Type[ProjectRule]] = [
+    OracleIntoPlanRule,
+    OracleIntoBudgetRule,
+    OracleIntoThresholdRule,
+    UnseededRngRule,
+    GlobalRngRule,
+    MeasurePathDrawRule,
+    DeadEventRule,
+    UnknownSubscriptionRule,
+    ForeignEmitRule,
+    CacheDirWriteRule,
+    DirectExperimentWriteRule,
+    CellParamJsonRule,
 ]
 
 
 def default_rules() -> List[Rule]:
-    """Fresh instances of every built-in rule, in rule-ID order."""
+    """Fresh instances of every built-in per-module rule, in ID order."""
     classes: List[Type[Rule]] = [
         *DETERMINISM_RULES,
         *LEAKAGE_RULES,
@@ -66,3 +120,8 @@ def default_rules() -> List[Rule]:
         *UNITS_RULES,
     ]
     return sorted((cls() for cls in classes), key=lambda r: r.rule_id)
+
+
+def default_project_rules() -> List[ProjectRule]:
+    """Fresh instances of every whole-program rule, in ID order."""
+    return sorted((cls() for cls in PROJECT_RULES), key=lambda r: r.rule_id)

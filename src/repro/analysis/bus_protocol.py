@@ -1,0 +1,312 @@
+"""EVT1xx: event-bus protocol rules.
+
+The session kernel narrates its work over a typed event bus
+(``repro.events``); subscribers dispatch by type with MRO-aware
+matching.  That decoupling is exactly what makes protocol drift
+invisible at runtime — an event nobody listens to is silently dropped,
+a subscription to a type nothing emits silently never fires.  These
+rules cross-reference every ``bus.emit(X(...))`` against every
+``bus.subscribe(Y, cb)`` project-wide:
+
+* **EVT101** — an event type that is emitted somewhere but subscribed
+  nowhere (not even via an ancestor type) is dead telemetry: either the
+  narration is missing a consumer or the emit is leftover scaffolding.
+* **EVT102** — a subscription to a type that is not part of the
+  ``repro.events`` hierarchy can never receive anything the bus
+  dispatches; likewise a project-function callback whose arity is not
+  exactly one event argument.
+* **EVT103** — each event type has an *owning* module (the component
+  whose state change it reports); emitting it from anywhere else forges
+  another component's narration.  The ownership table lives here
+  (:data:`EVENT_OWNERS`) and is asserted against ``repro.events`` by
+  the test suite.
+
+EVT101 is a global-scope rule (it needs every module's subscriptions);
+EVT102/EVT103 are closure-scoped and cache incrementally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .callgraph import resolve_name
+from .core import Finding, Severity
+from .dataflow import (
+    FuncIR,
+    ModuleIR,
+    Project,
+    ProjectRule,
+    VAttr,
+    VCall,
+    VName,
+    ValueExpr,
+    iter_calls,
+)
+
+__all__ = [
+    "EVENTS_MODULE",
+    "EVENT_OWNERS",
+    "DeadEventRule",
+    "ForeignEmitRule",
+    "UnknownSubscriptionRule",
+]
+
+#: The module that owns the event hierarchy.
+EVENTS_MODULE = "repro.events"
+
+#: Root of the event hierarchy.
+EVENT_ROOT = "SessionEvent"
+
+#: Event type -> module prefixes allowed to emit it.  The owner is the
+#: component whose state change the event reports; ``repro.sampling``
+#: (a package prefix) covers every technique's ``EstimateUpdated``.
+EVENT_OWNERS: Dict[str, Tuple[str, ...]] = {
+    "SegmentStart": ("repro.sampling.session",),
+    "SegmentEnd": ("repro.sampling.session",),
+    "SampleTaken": ("repro.sampling.session",),
+    "PhaseChange": ("repro.phase.classifier",),
+    "ThresholdSelected": ("repro.phase.adaptive",),
+    "EstimateUpdated": ("repro.sampling",),
+}
+
+
+def _spelled(expr: ValueExpr) -> Optional[str]:
+    """Dotted spelling of a name/attribute chain, or None."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, VAttr):
+        parts.append(node.attr)
+        node = node.base
+    if isinstance(node, VName):
+        parts.append(node.name)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _event_classes(project: Project) -> Optional[Dict[str, Set[str]]]:
+    """Event class name -> ancestor names (within the hierarchy).
+
+    Returns None when the project does not contain ``repro.events`` —
+    single-file runs cannot reason about the hierarchy, so the rules
+    stand down rather than flag everything unknown.
+    """
+    events = project.by_module.get(EVENTS_MODULE)
+    if events is None:
+        return None
+    bases: Dict[str, Tuple[str, ...]] = {
+        cls.name: cls.bases for cls in events.classes
+    }
+    hierarchy: Dict[str, Set[str]] = {}
+    for name in bases:
+        ancestors: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for base in bases.get(current, ()):
+                tail = base.rsplit(".", 1)[-1]
+                if tail in bases and tail not in ancestors:
+                    ancestors.add(tail)
+                    frontier.append(tail)
+        if name == EVENT_ROOT or EVENT_ROOT in ancestors:
+            hierarchy[name] = ancestors
+    return hierarchy
+
+
+def _resolved_event(
+    project: Project, mir: ModuleIR, spelled: Optional[str]
+) -> Optional[str]:
+    """Event class *name* when *spelled* resolves into ``repro.events``."""
+    if spelled is None:
+        return None
+    resolved = resolve_name(project, mir, spelled)
+    if resolved is None or not resolved.startswith(EVENTS_MODULE + "."):
+        return None
+    return resolved.rsplit(".", 1)[-1]
+
+
+def _emit_sites(mir: ModuleIR) -> Iterator[Tuple[FuncIR, VCall, VCall]]:
+    """(function, emit call, event-construction arg) per emit site."""
+    for fn in mir.functions:
+        for stmt in fn.body:
+            value = getattr(stmt, "value", None)
+            if value is None:
+                continue
+            for call in iter_calls(value):
+                if call.name is None:
+                    continue
+                if call.name.rsplit(".", 1)[-1] != "emit":
+                    continue
+                if call.args and isinstance(call.args[0], VCall):
+                    yield fn, call, call.args[0]
+
+
+def _subscribe_sites(mir: ModuleIR) -> Iterator[Tuple[FuncIR, VCall]]:
+    """(function, subscribe call) per subscription site."""
+    for fn in mir.functions:
+        for stmt in fn.body:
+            value = getattr(stmt, "value", None)
+            if value is None:
+                continue
+            for call in iter_calls(value):
+                if call.name is None or not call.args:
+                    continue
+                if call.name.rsplit(".", 1)[-1] == "subscribe":
+                    yield fn, call
+
+
+class DeadEventRule(ProjectRule):
+    """EVT101: every emitted event type needs a subscriber somewhere.
+
+    The bus dispatches by MRO, so a subscription to an ancestor type
+    (ultimately ``SessionEvent``) covers its descendants.  An event
+    emitted with no subscription anywhere in the project is unobservable
+    — dead narration that rots silently when fields change.
+    """
+
+    rule_id = "EVT101"
+    severity = Severity.ERROR
+    summary = "event type is emitted but never subscribed anywhere"
+    scope = "global"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Cross-reference all emits against all subscriptions."""
+        hierarchy = _event_classes(project)
+        if hierarchy is None:
+            return
+        subscribed: Set[str] = set()
+        for mir in project.modules:
+            for _, call in _subscribe_sites(mir):
+                name = _resolved_event(
+                    project, mir, _spelled(call.args[0])
+                )
+                if name is not None:
+                    subscribed.add(name)
+        for mir in project.modules:
+            for _, _, ctor in _emit_sites(mir):
+                name = _resolved_event(project, mir, ctor.name)
+                if name is None or name not in hierarchy:
+                    continue
+                covered = {name} | hierarchy[name]
+                if covered & subscribed:
+                    continue
+                yield self.finding(
+                    mir,
+                    ctor.line,
+                    ctor.col,
+                    f"`{name}` is emitted here but no module subscribes "
+                    f"to it (or an ancestor type); the narration is "
+                    f"unobservable",
+                )
+
+
+class UnknownSubscriptionRule(ProjectRule):
+    """EVT102: subscriptions must target real event types, with a
+    single-argument callback.
+
+    Subscribing to a class outside the ``repro.events`` hierarchy (or a
+    name that doesn't resolve to a class at all) can never match any
+    dispatched event; the handler just never fires.  A project-function
+    callback must accept exactly one positional argument — the event.
+    """
+
+    rule_id = "EVT102"
+    severity = Severity.ERROR
+    summary = "subscription to a type outside the event hierarchy"
+    scope = "closure"
+
+    def check_module(
+        self, project: Project, mir: ModuleIR
+    ) -> Iterator[Finding]:
+        """Validate each subscription's event type and callback arity."""
+        hierarchy = _event_classes(project)
+        if hierarchy is None:
+            return
+        for fn, call in _subscribe_sites(mir):
+            spelled = _spelled(call.args[0])
+            if spelled is None:
+                # Computed first argument — out of static reach.
+                continue
+            name = _resolved_event(project, mir, spelled)
+            if name is None or name not in hierarchy:
+                yield self.finding(
+                    mir,
+                    call.line,
+                    call.col,
+                    f"subscription to `{spelled}`, which is not a type in "
+                    f"the {EVENTS_MODULE} hierarchy; this handler can "
+                    f"never fire",
+                )
+                continue
+            if len(call.args) > 1:
+                callback = _spelled(call.args[1])
+                if callback is None:
+                    continue
+                resolved = resolve_name(project, mir, callback)
+                if resolved is None:
+                    # Local closure or lambda: extracted nested defs are
+                    # module-level in the IR, so try the bare tail name.
+                    target = mir.function(
+                        f"{mir.module}.{callback.rsplit('.', 1)[-1]}"
+                    )
+                else:
+                    target = project.by_module.get(
+                        resolved.rsplit(".", 1)[0], mir
+                    ).function(resolved)
+                if target is None:
+                    continue
+                arity = len(
+                    [p for p in target.params if p not in ("self", "cls")]
+                )
+                if arity != 1:
+                    yield self.finding(
+                        mir,
+                        call.line,
+                        call.col,
+                        f"subscriber `{callback}` takes {arity} "
+                        f"argument(s); the bus calls it with exactly one "
+                        f"event",
+                    )
+
+
+class ForeignEmitRule(ProjectRule):
+    """EVT103: events may only be emitted by their owning module.
+
+    ``SegmentStart`` reported from anywhere but the session kernel (or
+    ``PhaseChange`` from outside the classifier) forges another
+    component's narration — downstream consumers could no longer trust
+    an event to describe the state of the component it names.  The
+    ownership table is :data:`EVENT_OWNERS`.
+    """
+
+    rule_id = "EVT103"
+    severity = Severity.ERROR
+    summary = "event emitted outside its owning module"
+    scope = "closure"
+
+    def check_module(
+        self, project: Project, mir: ModuleIR
+    ) -> Iterator[Finding]:
+        """Flag emits of owned events from non-owner modules."""
+        hierarchy = _event_classes(project)
+        if hierarchy is None:
+            return
+        for _, _, ctor in _emit_sites(mir):
+            name = _resolved_event(project, mir, ctor.name)
+            if name is None:
+                continue
+            owners = EVENT_OWNERS.get(name)
+            if owners is None:
+                continue
+            if any(
+                mir.module == o or mir.module.startswith(o + ".")
+                for o in owners
+            ):
+                continue
+            yield self.finding(
+                mir,
+                ctor.line,
+                ctor.col,
+                f"`{name}` is owned by {', '.join(owners)} but emitted "
+                f"from {mir.module}; only the owning component may "
+                f"report this state change",
+            )

@@ -1,0 +1,265 @@
+"""CCH1xx: cache-safety rules.
+
+Every experiment result flows through :class:`ResultCache`: content-
+hashed keys, atomic tmp+rename publication, crash quarantine, and a
+strict JSON-able key discipline (DESIGN.md §9).  A direct file write
+into the cache directory bypasses all four properties at once — a
+concurrent run can read the torn file, and nothing records which code
+version produced it.  Three rules police the boundary:
+
+* **CCH101** — a cache-directory path (anything tainted by
+  ``cache.directory`` or ``_default_cache_dir()``) reaching a raw write
+  sink (``open``, ``json.dump``, ``np.savez``, ``Path.write_text``...)
+  anywhere in the project.
+* **CCH102** — experiment modules (``repro.experiments.*`` except the
+  cache implementation itself) must not perform *any* direct file I/O;
+  results leave a figure module only through ``ctx.run_cached`` /
+  ``ResultCache`` so they are reproducible and concurrency-safe.
+* **CCH103** — ``ExperimentCell`` parameters become JSON cache keys;
+  a lambda, set/bytes literal, or function/class reference in the
+  params raises ``CacheError`` only at run time — this rule moves that
+  failure to lint time.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from .callgraph import resolve_name
+from .core import Finding, Severity
+from .dataflow import (
+    ModuleIR,
+    Project,
+    ProjectRule,
+    VAttr,
+    VCall,
+    VConst,
+    VName,
+    VOp,
+    VTuple,
+    ValueExpr,
+    iter_calls,
+)
+from .taint import TaintAnalysis, TaintSpec, call_matches
+
+__all__ = [
+    "CACHE_PATH_SPEC",
+    "CacheDirWriteRule",
+    "CellParamJsonRule",
+    "DirectExperimentWriteRule",
+]
+
+#: The ResultCache implementation — the one module allowed to touch the
+#: cache directory directly.
+_CACHE_MODULE = "repro.experiments.cache"
+
+#: Vocabulary for cache-directory path taint.
+CACHE_PATH_SPEC = TaintSpec(
+    spec_id="cachedir",
+    source_attrs=frozenset({"directory"}),
+    source_calls=frozenset({"_default_cache_dir"}),
+)
+
+#: Raw write sinks (matched on the last dotted component).
+_WRITE_SINKS: FrozenSet[str] = frozenset(
+    {
+        "open",
+        "dump",
+        "savez",
+        "savez_compressed",
+        "save",
+        "write_text",
+        "write_bytes",
+    }
+)
+
+#: Sinks banned outright in experiment modules (no ``save``: figure
+#: helpers legitimately save rendered plots outside the cache).
+_EXPERIMENT_SINKS: FrozenSet[str] = frozenset(
+    {
+        "open",
+        "dump",
+        "savez",
+        "savez_compressed",
+        "write_text",
+        "write_bytes",
+    }
+)
+
+
+class CacheDirWriteRule(ProjectRule):
+    """CCH101: no raw file operations on cache-directory paths.
+
+    A path derived from ``ResultCache.directory`` (or
+    ``_default_cache_dir()``) reaching ``open``/``json.dump``/
+    ``np.savez``/``write_text`` bypasses atomic publication: a parallel
+    run can observe the half-written file, and the quarantine/versioning
+    machinery never sees it.  Flow-sensitive — the taint survives
+    ``dir / "name.json"`` arithmetic and helper returns.
+    """
+
+    rule_id = "CCH101"
+    severity = Severity.ERROR
+    summary = "raw file operation on a cache-directory path"
+    scope = "closure"
+
+    def check_module(
+        self, project: Project, mir: ModuleIR
+    ) -> Iterator[Finding]:
+        """Flag write sinks receiving cache-path taint."""
+        if mir.module == _CACHE_MODULE:
+            return
+        analysis = TaintAnalysis.for_project(project, CACHE_PATH_SPEC)
+        for rec in analysis.records(mir):
+            if not call_matches(rec.call, _WRITE_SINKS):
+                continue
+            if rec.any_input_tainted:
+                yield self.finding(
+                    mir,
+                    rec.call.line,
+                    rec.call.col,
+                    f"`{rec.call.name}` operates on a cache-directory "
+                    f"path; cache entries must go through ResultCache's "
+                    f"atomic publication",
+                )
+
+
+class DirectExperimentWriteRule(ProjectRule):
+    """CCH102: experiment modules perform no direct file I/O.
+
+    Figure modules produce *cells*; persistence is ``ctx.run_cached``'s
+    job.  A stray ``open``/``json.dump`` in an experiment module writes
+    results that no cache key describes — they can't be invalidated,
+    shared between parallel workers, or trusted after a crash.
+    """
+
+    rule_id = "CCH102"
+    severity = Severity.ERROR
+    summary = "direct file I/O in an experiment module"
+    scope = "closure"
+
+    def check_module(
+        self, project: Project, mir: ModuleIR
+    ) -> Iterator[Finding]:
+        """Flag any raw I/O call in ``repro.experiments.*``."""
+        if not mir.module.startswith("repro.experiments."):
+            return
+        if mir.module == _CACHE_MODULE:
+            return
+        for fn in mir.functions:
+            for stmt in fn.body:
+                value = getattr(stmt, "value", None)
+                if value is None:
+                    continue
+                for call in iter_calls(value):
+                    if call_matches(call, _EXPERIMENT_SINKS):
+                        yield self.finding(
+                            mir,
+                            call.line,
+                            call.col,
+                            f"`{call.name}` writes files directly from an "
+                            f"experiment module; route results through "
+                            f"ctx.run_cached / ResultCache instead",
+                        )
+
+
+class CellParamJsonRule(ProjectRule):
+    """CCH103: ``ExperimentCell`` params must be statically JSON-able.
+
+    Cell params are serialised into the sha256 cache key; the cache
+    raises ``CacheError`` on non-JSON-able values, but only when the
+    cell is first run.  Lambdas, set/bytes literals, and references to
+    project functions or classes are detectable statically, so the
+    mistake surfaces here instead of mid-sweep.
+    """
+
+    rule_id = "CCH103"
+    severity = Severity.ERROR
+    summary = "non-JSON-able value in ExperimentCell params"
+    scope = "closure"
+
+    def check_module(
+        self, project: Project, mir: ModuleIR
+    ) -> Iterator[Finding]:
+        """Inspect every cell-construction site's params."""
+        for fn in mir.functions:
+            for stmt in fn.body:
+                value = getattr(stmt, "value", None)
+                if value is None:
+                    continue
+                for call in iter_calls(value):
+                    if not _is_cell_ctor(call):
+                        continue
+                    inputs: List[Tuple[str, ValueExpr]] = [
+                        (f"argument {i + 1}", a)
+                        for i, a in enumerate(call.args)
+                    ]
+                    inputs.extend(
+                        (f"param `{name}`", v)
+                        for name, v in call.kwargs
+                        if name is not None
+                    )
+                    for label, expr in inputs:
+                        problem = _non_jsonable(project, mir, expr)
+                        if problem is not None:
+                            yield self.finding(
+                                mir,
+                                call.line,
+                                call.col,
+                                f"{label} of `{call.name}` is {problem}; "
+                                f"cell params become JSON cache keys and "
+                                f"must be plain data",
+                            )
+
+
+def _is_cell_ctor(call: VCall) -> bool:
+    spelled = call.name
+    if spelled is None:
+        return False
+    tail = spelled.rsplit(".", 1)[-1]
+    if tail == "ExperimentCell":
+        return True
+    return tail == "make" and "ExperimentCell" in spelled
+
+
+def _non_jsonable(
+    project: Project, mir: ModuleIR, expr: ValueExpr
+) -> Optional[str]:
+    """Describe why *expr* cannot be a JSON cache-key value, or None."""
+    if isinstance(expr, VConst):
+        if expr.kind == "lambda":
+            return "a lambda"
+        if expr.kind == "bytes":
+            return "a bytes literal"
+        return None
+    if isinstance(expr, VCall):
+        if expr.name == "<set-literal>":
+            return "a set literal"
+        return None
+    if isinstance(expr, (VName, VAttr)):
+        spelled = _spelled(expr)
+        if spelled is None:
+            return None
+        resolved = resolve_name(project, mir, spelled)
+        if resolved is not None:
+            return f"a reference to project symbol `{spelled}`"
+        return None
+    if isinstance(expr, (VTuple, VOp)):
+        items = expr.items if isinstance(expr, VTuple) else expr.operands
+        for item in items:
+            problem = _non_jsonable(project, mir, item)
+            if problem is not None:
+                return problem
+    return None
+
+
+def _spelled(expr: ValueExpr) -> Optional[str]:
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, VAttr):
+        parts.append(node.attr)
+        node = node.base
+    if isinstance(node, VName):
+        parts.append(node.name)
+        return ".".join(reversed(parts))
+    return None

@@ -4,24 +4,42 @@ Usage::
 
     pgss-lint src/repro                      # lint a tree, text output
     pgss-lint --format json src/repro        # machine-readable report
-    pgss-lint --select DET001,DET004 path    # run only these rules
+    pgss-lint --format sarif src/repro       # GitHub PR annotations
+    pgss-lint --select DET001,LEA101 path    # run only these rules
     pgss-lint --ignore HYG003 path           # run all but these
+    pgss-lint --jobs 4 src/repro             # parallel IR extraction
+    pgss-lint --cache .lintcache src/repro   # incremental re-runs
+    pgss-lint --explain LEA101               # why a rule exists
     pgss-lint --list-rules                   # print the rule catalogue
 
-The exit code is the maximum severity found: 0 for a clean tree, 1 if
-only warnings fired, 2 if any error fired.
+Per-module rules and the whole-program families (LEA1xx, DET1xx,
+EVT1xx, CCH1xx — DESIGN.md §14) run together by default; ``--select`` /
+``--ignore`` address both.  The exit code is the maximum severity
+found: 0 for a clean tree, 1 if only warnings fired, 2 if any error
+fired.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
-from . import default_rules
-from .core import Rule, lint_paths, max_severity, render_json, render_text
+from . import default_project_rules, default_rules
+from .core import (
+    Rule,
+    lint_paths,
+    max_severity,
+    render_json,
+    render_text,
+)
+from .dataflow import AnalysisCache, ProjectRule, analyze_project
+from .sarif import render_sarif
 
-__all__ = ["main", "build_parser", "select_rules"]
+__all__ = ["main", "build_parser", "explain_rule", "select_rules"]
+
+AnyRule = Union[Rule, ProjectRule]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +48,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="pgss-lint",
         description=(
             "simulation-correctness linter for PGSS-Sim: determinism, "
-            "oracle-leakage, hygiene and unit rules over Python sources"
+            "oracle-leakage, hygiene and unit rules plus whole-program "
+            "taint analyses over Python sources"
         ),
     )
     parser.add_argument(
@@ -40,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
     )
@@ -57,6 +76,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs to skip",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for IR extraction (default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help=(
+            "incremental analysis cache file; unchanged files reuse "
+            "their extracted IR and unchanged import closures reuse "
+            "their findings"
+        ),
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="run only the per-module rules (skip LEA1xx/DET1xx/...)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print the full documentation of one rule ID, then exit",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every rule ID with its severity and summary, then exit",
@@ -64,18 +111,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _all_rules() -> List[AnyRule]:
+    rules: List[AnyRule] = []
+    rules.extend(default_rules())
+    rules.extend(default_project_rules())
+    return sorted(rules, key=lambda r: r.rule_id)
+
+
 def select_rules(
     select: Optional[str], ignore: Optional[str]
-) -> List[Rule]:
-    """Resolve ``--select`` / ``--ignore`` into a concrete rule list."""
-    rules = default_rules()
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    """Resolve ``--select``/``--ignore`` into (per-module, whole-program)."""
+    ast_rules: List[AnyRule] = list(default_rules())
+    project_rules: List[AnyRule] = list(default_project_rules())
     if select:
         wanted = [r.strip() for r in select.split(",") if r.strip()]
-        rules = [r for r in rules if r.rule_id in wanted]
+        ast_rules = [r for r in ast_rules if r.rule_id in wanted]
+        project_rules = [r for r in project_rules if r.rule_id in wanted]
     if ignore:
         skipped = [r.strip() for r in ignore.split(",") if r.strip()]
-        rules = [r for r in rules if r.rule_id not in skipped]
-    return rules
+        ast_rules = [r for r in ast_rules if r.rule_id not in skipped]
+        project_rules = [
+            r for r in project_rules if r.rule_id not in skipped
+        ]
+    return (
+        [r for r in ast_rules if isinstance(r, Rule)],
+        [r for r in project_rules if isinstance(r, ProjectRule)],
+    )
+
+
+def explain_rule(rule_id: str) -> Optional[str]:
+    """Full documentation for *rule_id*, or None when unknown."""
+    for rule in _all_rules():
+        if rule.rule_id == rule_id:
+            doc = inspect.cleandoc(type(rule).__doc__ or "")
+            header = (
+                f"{rule.rule_id} ({rule.severity.label}): {rule.summary}"
+            )
+            return f"{header}\n\n{doc}" if doc else header
+    return None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -83,20 +157,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.explain:
+        text = explain_rule(args.explain.strip())
+        if text is None:
+            print(
+                f"pgss-lint: error: unknown rule {args.explain!r}",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
+        return 0
+
     if args.list_rules:
-        for rule in default_rules():
+        for rule in _all_rules():
             print(f"{rule.rule_id}  {rule.severity.label:7s}  {rule.summary}")
         return 0
 
     if not args.paths:
         parser.error("at least one path is required (or --list-rules)")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    rules = select_rules(args.select, args.ignore)
-    if not rules:
+    ast_rules, project_rules = select_rules(args.select, args.ignore)
+    if args.no_project:
+        project_rules = []
+    if not ast_rules and not project_rules:
         parser.error("--select/--ignore left no rules to run")
 
+    stats_dict = None
     try:
-        findings = lint_paths(args.paths, rules)
+        if project_rules:
+            cache = (
+                AnalysisCache(args.cache) if args.cache is not None else None
+            )
+            findings, stats = analyze_project(
+                args.paths,
+                project_rules,
+                ast_rules=ast_rules,
+                cache=cache,
+                jobs=args.jobs,
+            )
+            stats_dict = stats.to_dict()
+        else:
+            findings = lint_paths(args.paths, ast_rules)
     except OSError as exc:
         print(
             f"pgss-lint: error: cannot read {exc.filename}: {exc.strerror}",
@@ -104,7 +207,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
     if args.format == "json":
-        print(render_json(findings))
+        print(render_json(findings, stats=stats_dict))
+    elif args.format == "sarif":
+        all_rules: List[AnyRule] = list(ast_rules)
+        all_rules.extend(project_rules)
+        print(render_sarif(findings, all_rules))
     elif findings:
         print(render_text(findings))
     return max_severity(findings)

@@ -12,6 +12,12 @@ convention::
 
     elapsed = time.perf_counter() - start  # simlint: disable=DET005
     legacy_call()  # simlint: disable            (silences every rule)
+
+A multi-line expression may carry the comment on its first *or* last
+line (findings record the spanned range), and a whole module opts out
+of a rule with a file-level pragma anywhere in the file::
+
+    # simlint: disable-file=DET005
 """
 
 from __future__ import annotations
@@ -54,13 +60,15 @@ __all__ = [
 ]
 
 #: Version stamp of the JSON reporter output; bump on breaking changes.
-JSON_SCHEMA_VERSION = 1
+#: v2: findings gained ``end_line``, documents gained optional ``stats``.
+JSON_SCHEMA_VERSION = 2
 
 #: Rule ID used for findings produced by unparseable source.
 PARSE_RULE_ID = "PARSE001"
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*simlint:\s*disable(?:=(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+    r"#\s*simlint:\s*disable(?P<file>-file)?"
+    r"(?:=(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
 )
 
 #: Sentinel for "every rule is suppressed on this line".
@@ -81,7 +89,12 @@ class Severity(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a specific source location."""
+    """One rule violation at a specific source location.
+
+    ``end_line`` is the last line of the offending construct (equal to
+    ``line`` for single-line nodes); suppression comments on either end
+    of a spanned expression silence the finding.
+    """
 
     path: str
     line: int
@@ -89,12 +102,18 @@ class Finding:
     rule_id: str
     severity: Severity
     message: str
+    end_line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation (stable key set)."""
         return {
             "path": self.path,
             "line": self.line,
+            "end_line": self.end_line,
             "col": self.col,
             "rule": self.rule_id,
             "severity": self.severity.label,
@@ -106,14 +125,20 @@ class Finding:
         return (self.path, self.line, self.col, self.rule_id)
 
 
-def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
-    """Map line number -> rule IDs disabled on that line.
+def parse_suppressions(
+    source: str,
+) -> Tuple[Dict[int, FrozenSet[str]], FrozenSet[str]]:
+    """Parse suppression comments out of *source*.
 
-    The special value containing ``"*"`` means every rule is disabled.
-    Unparseable trailing source (inside a triple-quoted string cut off,
-    say) degrades gracefully to "no suppressions found past that point".
+    Returns ``(per_line, file_level)``: a map of line number -> rule IDs
+    disabled on that line, and the set of rule IDs disabled for the whole
+    file via ``# simlint: disable-file=RULE``.  The special value
+    containing ``"*"`` means every rule is disabled.  Unparseable
+    trailing source (inside a triple-quoted string cut off, say) degrades
+    gracefully to "no suppressions found past that point".
     """
     table: Dict[int, FrozenSet[str]] = {}
+    file_level: FrozenSet[str] = frozenset()
     try:
         tokens = tokenize.generate_tokens(StringIO(source).readline)
         for tok in tokens:
@@ -127,11 +152,14 @@ def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
                 ids = _ALL_RULES
             else:
                 ids = frozenset(r.strip() for r in rules.split(","))
-            line = tok.start[0]
-            table[line] = table.get(line, frozenset()) | ids
+            if match.group("file"):
+                file_level = file_level | ids
+            else:
+                line = tok.start[0]
+                table[line] = table.get(line, frozenset()) | ids
     except (tokenize.TokenError, IndentationError, SyntaxError):
         pass
-    return table
+    return table, file_level
 
 
 class ModuleContext:
@@ -141,7 +169,7 @@ class ModuleContext:
         self.path = PurePath(path).as_posix()
         self.source = source
         self.tree = tree
-        self.suppressions = parse_suppressions(source)
+        self.suppressions, self.file_suppressions = parse_suppressions(source)
         parts = PurePath(self.path).parts
         # Package-relative parts: everything after the *last* "repro"
         # directory, so rules can ask "is this file under repro/sampling?"
@@ -161,12 +189,22 @@ class ModuleContext:
         """True if the module lives under ``repro/<name>/`` for any name."""
         return bool(self.package_parts) and self.package_parts[0] in names
 
-    def is_suppressed(self, line: int, rule_id: str) -> bool:
-        """True if *rule_id* is disabled on *line* by a simlint comment."""
-        ids = self.suppressions.get(line)
-        if ids is None:
-            return False
-        return "*" in ids or rule_id in ids
+    def is_suppressed(
+        self, line: int, rule_id: str, end_line: int = 0
+    ) -> bool:
+        """True if *rule_id* is disabled at this location.
+
+        A finding is suppressed by a file-level pragma, a comment on its
+        reported line, or — for constructs spanning several lines — a
+        comment on the construct's last line.
+        """
+        if "*" in self.file_suppressions or rule_id in self.file_suppressions:
+            return True
+        for candidate in (line, end_line or line):
+            ids = self.suppressions.get(candidate)
+            if ids is not None and ("*" in ids or rule_id in ids):
+                return True
+        return False
 
 
 class Rule:
@@ -192,14 +230,27 @@ class Rule:
         message: str,
         severity: Optional[Severity] = None,
     ) -> Finding:
-        """Build a finding for *node* with this rule's ID and severity."""
+        """Build a finding for *node* with this rule's ID and severity.
+
+        Expression nodes carry their spanned line range so a suppression
+        comment on the last line of a multi-line expression works;
+        def/class nodes deliberately do not (their span is the whole
+        body, which would over-suppress).
+        """
+        line = getattr(node, "lineno", 1)
+        end_line = line
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            end_line = getattr(node, "end_lineno", None) or line
         return Finding(
             path=ctx.path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0) + 1,
             rule_id=self.rule_id,
             severity=self.severity if severity is None else severity,
             message=message,
+            end_line=end_line,
         )
 
 
@@ -243,7 +294,7 @@ def lint_source(
         f
         for rule in rules
         for f in rule.check(ctx)
-        if not ctx.is_suppressed(f.line, f.rule_id)
+        if not ctx.is_suppressed(f.line, f.rule_id, f.end_line)
     ]
     return sorted(findings, key=Finding.sort_key)
 
@@ -299,18 +350,31 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    """Machine-oriented report with a stable, versioned schema."""
-    errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
+def render_json(
+    findings: Sequence[Finding],
+    stats: Optional[Dict[str, object]] = None,
+) -> str:
+    """Machine-oriented report with a stable, versioned schema.
+
+    Findings are emitted in :meth:`Finding.sort_key` order — (path,
+    line, col, rule) — so two runs over the same tree produce
+    byte-identical documents and CI diffs stay meaningful.  *stats*,
+    when given, adds an ``analysis`` block (whole-program cache and
+    fan-out counters); the schema is documented in DESIGN.md §10.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    errors = sum(1 for f in ordered if f.severity >= Severity.ERROR)
     document = {
         "version": JSON_SCHEMA_VERSION,
         "tool": "pgss-lint",
-        "findings": [f.to_dict() for f in findings],
+        "findings": [f.to_dict() for f in ordered],
         "summary": {
-            "total": len(findings),
+            "total": len(ordered),
             "errors": errors,
-            "warnings": len(findings) - errors,
-            "max_severity": max_severity(findings),
+            "warnings": len(ordered) - errors,
+            "max_severity": max_severity(ordered),
         },
     }
+    if stats is not None:
+        document["analysis"] = stats
     return json.dumps(document, indent=2, sort_keys=True)

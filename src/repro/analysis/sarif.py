@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 reporter for ``pgss-lint``.
+
+SARIF (Static Analysis Results Interchange Format) is what
+``github/codeql-action/upload-sarif`` ingests to annotate pull requests
+inline.  The document carries the same findings as the JSON reporter
+plus per-rule metadata (summary and the rule class's docstring as help
+text), so the annotation links explain *why* an invariant matters, not
+just where it broke.
+
+Output is deterministic: findings are sorted by
+:meth:`Finding.sort_key` and rule entries by ID, and the JSON is dumped
+with sorted keys — the same byte-stability contract as the JSON
+reporter (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .core import Finding, Severity
+
+__all__ = ["SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: simlint severities -> SARIF levels.
+_LEVELS = {Severity.WARNING: "warning", Severity.ERROR: "error"}
+
+
+def _rule_entry(rule_id: str, summary: str, help_text: str) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "id": rule_id,
+        "shortDescription": {"text": summary or rule_id},
+    }
+    if help_text:
+        entry["fullDescription"] = {"text": help_text.strip()}
+    return entry
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rules: Sequence[object] = (),
+) -> str:
+    """Render *findings* as a SARIF 2.1.0 document.
+
+    *rules* may be any objects carrying ``rule_id``/``summary`` (and a
+    docstring) — both per-module :class:`~repro.analysis.core.Rule` and
+    whole-program ``ProjectRule`` instances qualify; they populate the
+    driver's rule metadata so annotations link to an explanation.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    by_id: Dict[str, Dict[str, object]] = {}
+    for rule in rules:
+        rule_id = getattr(rule, "rule_id", None)
+        if not isinstance(rule_id, str):
+            continue
+        by_id[rule_id] = _rule_entry(
+            rule_id,
+            str(getattr(rule, "summary", "") or ""),
+            str(type(rule).__doc__ or ""),
+        )
+    # Findings whose rule wasn't registered (e.g. PARSE001) still get a
+    # stub entry so SARIF consumers can resolve every ruleId.
+    for f in ordered:
+        by_id.setdefault(f.rule_id, _rule_entry(f.rule_id, f.rule_id, ""))
+    rule_entries = [by_id[k] for k in sorted(by_id)]
+    rule_index = {entry["id"]: i for i, entry in enumerate(rule_entries)}
+
+    results: List[Dict[str, object]] = []
+    for f in ordered:
+        region: Dict[str, object] = {
+            "startLine": f.line,
+            "startColumn": f.col,
+        }
+        if f.end_line > f.line:
+            region["endLine"] = f.end_line
+        results.append(
+            {
+                "ruleId": f.rule_id,
+                "ruleIndex": rule_index[f.rule_id],
+                "level": _LEVELS.get(f.severity, "error"),
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": region,
+                        }
+                    }
+                ],
+            }
+        )
+
+    document = {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pgss-lint",
+                        "rules": rule_entries,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,442 @@
+"""Interprocedural taint engine over the dataflow IR.
+
+The engine is a classic two-pass summary analysis:
+
+1. **Bottom-up summaries** (fixpoint): every function gets a
+   :class:`TaintSummary` saying whether its return value is tainted
+   *intrinsically* (a source is read inside it) and which of its
+   parameters flow to the return value.  Taint is tracked symbolically
+   as token sets — the literal token ``"T"`` plus integer parameter
+   indices — so one pass per function serves every caller.
+2. **Top-down parameter taint** (fixpoint): actual taint is pushed into
+   callee parameters from resolved call sites, so a helper that merely
+   *forwards* an oracle value taints its callers' downstream uses.
+
+The result is a list of :class:`CallTaintRecord` per module — every
+call site annotated with the concrete taint of its arguments, keyword
+arguments, receiver, and result.  Rule families (oracle flow, RNG
+provenance, cache safety) consume those records and match their own
+source/sink vocabularies; the engine itself knows nothing about rules.
+
+Unknown callees conservatively propagate the union of their argument
+taints to their result (``propagate_unknown_calls``) — this is what
+catches laundering through builtins like ``float()`` or ``min()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+
+from .callgraph import build_call_graph, resolve_call
+from .dataflow import (
+    FuncIR,
+    ModuleIR,
+    Project,
+    SAssign,
+    SExpr,
+    SReturn,
+    TargetSpec,
+    VAttr,
+    VCall,
+    VConst,
+    VName,
+    VOp,
+    VTuple,
+    ValueExpr,
+)
+
+__all__ = [
+    "CallTaintRecord",
+    "TaintAnalysis",
+    "TaintSpec",
+    "TaintSummary",
+    "call_matches",
+]
+
+#: Symbolic taint token: the intrinsic marker or a parameter index.
+Token = Union[str, int]
+Tokens = FrozenSet[Token]
+
+_EMPTY: Tokens = frozenset()
+_INTRINSIC: Tokens = frozenset({"T"})
+
+#: Fixpoint round cap; generous for the repo's call-graph depth.
+_MAX_ROUNDS = 20
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """What counts as a taint source for one analysis family.
+
+    ``source_calls`` entries match a call's spelled name in full or by
+    its last dotted component (so ``"true_ipc"`` matches
+    ``ctx.true_ipc(...)`` on any receiver).  ``source_attrs`` match
+    attribute loads by attribute name.  ``source_params`` maps function
+    qnames to parameter names that are taint roots.
+    """
+
+    spec_id: str
+    source_attrs: FrozenSet[str] = frozenset()
+    source_calls: FrozenSet[str] = frozenset()
+    source_params: Tuple[Tuple[str, str], ...] = ()
+    propagate_unknown_calls: bool = True
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """One function's effect on taint: intrinsic + parameter flows."""
+
+    intrinsic: bool = False
+    from_params: FrozenSet[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class CallTaintRecord:
+    """One call site annotated with concrete taint facts."""
+
+    module: str
+    fn_qname: str
+    call: VCall
+    callee: Optional[str]
+    args: Tuple[bool, ...]
+    kwargs: Tuple[Tuple[Optional[str], bool], ...]
+    base_tainted: bool
+    result_tainted: bool
+
+    @property
+    def any_input_tainted(self) -> bool:
+        """True when any argument/kwarg/receiver carries taint."""
+        return (
+            self.base_tainted
+            or any(self.args)
+            or any(t for _, t in self.kwargs)
+        )
+
+
+def call_matches(call: VCall, names: FrozenSet[str]) -> bool:
+    """True when the call's spelled name matches *names* (full or tail)."""
+    spelled = call.name
+    if spelled is None:
+        return False
+    if spelled in names:
+        return True
+    tail = spelled.rsplit(".", 1)[-1]
+    return tail in names
+
+
+@dataclass(frozen=True)
+class _SymbolicCall:
+    """Per-call symbolic token sets gathered during the summary walk."""
+
+    fn_qname: str
+    call: VCall
+    callee: Optional[str]
+    args: Tuple[Tokens, ...]
+    kwargs: Tuple[Tuple[Optional[str], Tokens], ...]
+    base: Tokens
+    result: Tokens
+
+
+class TaintAnalysis:
+    """Run one :class:`TaintSpec` over a project and expose call records.
+
+    Results are memoised on ``project.memo`` under the spec id, so
+    several rules sharing a vocabulary pay for one analysis.
+    """
+
+    def __init__(self, project: Project, spec: TaintSpec) -> None:
+        self.project = project
+        self.spec = spec
+        self.graph = build_call_graph(project)
+        self.summaries: Dict[str, TaintSummary] = {}
+        self.param_taint: Dict[str, Set[int]] = {}
+        self._calls: Dict[str, List[_SymbolicCall]] = {}
+        self._root_params: Dict[str, Set[str]] = {}
+        for qname, param in spec.source_params:
+            self._root_params.setdefault(qname, set()).add(param)
+        self._fixpoint_summaries()
+        self._record_calls()
+        self._fixpoint_param_taint()
+
+    @classmethod
+    def for_project(cls, project: Project, spec: TaintSpec) -> "TaintAnalysis":
+        """Memoised constructor."""
+        key = f"taint:{spec.spec_id}"
+        cached = project.memo.get(key)
+        if isinstance(cached, cls):
+            return cached
+        analysis = cls(project, spec)
+        project.memo[key] = analysis
+        return analysis
+
+    # -- symbolic evaluation -------------------------------------------
+
+    def _param_tokens(self, fn: FuncIR) -> Dict[str, Tokens]:
+        env: Dict[str, Tokens] = {}
+        roots = self._root_params.get(fn.qname, set())
+        for i, name in enumerate(fn.params):
+            tokens: Tokens = frozenset({i})
+            if name in roots:
+                tokens = tokens | _INTRINSIC
+            env[name] = tokens
+        return env
+
+    def _eval(
+        self,
+        expr: ValueExpr,
+        env: Dict[str, Tokens],
+        fn: FuncIR,
+        mir: ModuleIR,
+        sink: Optional[List[_SymbolicCall]],
+    ) -> Tokens:
+        if isinstance(expr, VConst):
+            return _EMPTY
+        if isinstance(expr, VName):
+            return env.get(expr.name, _EMPTY)
+        if isinstance(expr, VAttr):
+            base = self._eval(expr.base, env, fn, mir, sink)
+            if expr.attr in self.spec.source_attrs:
+                return base | _INTRINSIC
+            return base
+        if isinstance(expr, VTuple):
+            out: Tokens = _EMPTY
+            for item in expr.items:
+                out = out | self._eval(item, env, fn, mir, sink)
+            return out
+        if isinstance(expr, VOp):
+            out = _EMPTY
+            for item in expr.operands:
+                out = out | self._eval(item, env, fn, mir, sink)
+            return out
+        if isinstance(expr, VCall):
+            return self._eval_call(expr, env, fn, mir, sink)
+        return _EMPTY
+
+    def _eval_call(
+        self,
+        call: VCall,
+        env: Dict[str, Tokens],
+        fn: FuncIR,
+        mir: ModuleIR,
+        sink: Optional[List[_SymbolicCall]],
+    ) -> Tokens:
+        args = tuple(self._eval(a, env, fn, mir, sink) for a in call.args)
+        kwargs = tuple(
+            (name, self._eval(value, env, fn, mir, sink))
+            for name, value in call.kwargs
+        )
+        base: Tokens = _EMPTY
+        if isinstance(call.func, VAttr):
+            base = self._eval(call.func.base, env, fn, mir, sink)
+        callee = resolve_call(self.project, mir, fn, call)
+        result: Tokens = _EMPTY
+        if call_matches(call, self.spec.source_calls):
+            result = result | _INTRINSIC
+        if callee is not None:
+            summary = self.summaries.get(callee, TaintSummary())
+            if summary.intrinsic:
+                result = result | _INTRINSIC
+            if summary.from_params:
+                callee_fn = self._function(callee)
+                offset = _self_offset(callee_fn, call)
+                for idx in summary.from_params:
+                    pos = idx - offset
+                    if 0 <= pos < len(args):
+                        result = result | args[pos]
+                    elif callee_fn is not None and idx < len(callee_fn.params):
+                        pname = callee_fn.params[idx]
+                        for kw_name, tokens in kwargs:
+                            if kw_name == pname:
+                                result = result | tokens
+                    elif pos < 0:
+                        # taint through ``self`` — approximate with the
+                        # receiver's taint.
+                        result = result | base
+        elif self.spec.propagate_unknown_calls:
+            result = result | base
+            for tokens in args:
+                result = result | tokens
+            for _, tokens in kwargs:
+                result = result | tokens
+        if sink is not None:
+            sink.append(
+                _SymbolicCall(
+                    fn_qname=fn.qname,
+                    call=call,
+                    callee=callee,
+                    args=args,
+                    kwargs=kwargs,
+                    base=base,
+                    result=result,
+                )
+            )
+        return result
+
+    def _function(self, qname: str) -> Optional[FuncIR]:
+        module_name = qname
+        while module_name:
+            module_name = module_name.rpartition(".")[0]
+            target = self.project.by_module.get(module_name)
+            if target is not None:
+                return target.function(qname)
+        return None
+
+    def _walk(
+        self,
+        fn: FuncIR,
+        mir: ModuleIR,
+        env: Dict[str, Tokens],
+        sink: Optional[List[_SymbolicCall]],
+    ) -> Tokens:
+        """Walk *fn*'s body; returns the union of returned token sets."""
+        returned: Tokens = _EMPTY
+        for stmt in fn.body:
+            if isinstance(stmt, SAssign):
+                if isinstance(stmt.value, VTuple):
+                    elems: Optional[Tuple[Tokens, ...]] = tuple(
+                        self._eval(item, env, fn, mir, sink)
+                        for item in stmt.value.items
+                    )
+                    tokens = _EMPTY
+                    for t in elems or ():
+                        tokens = tokens | t
+                else:
+                    elems = None
+                    tokens = self._eval(stmt.value, env, fn, mir, sink)
+                for target in stmt.targets:
+                    _bind(target, tokens, elems, env)
+            elif isinstance(stmt, SReturn):
+                if stmt.value is not None:
+                    returned = returned | self._eval(
+                        stmt.value, env, fn, mir, sink
+                    )
+            elif isinstance(stmt, SExpr):
+                self._eval(stmt.value, env, fn, mir, sink)
+        return returned
+
+    # -- phases ---------------------------------------------------------
+
+    def _fixpoint_summaries(self) -> None:
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for mir in self.project.modules:
+                for fn in mir.functions:
+                    env = self._param_tokens(fn)
+                    returned = self._walk(fn, mir, env, None)
+                    summary = TaintSummary(
+                        intrinsic="T" in returned,
+                        from_params=frozenset(
+                            t for t in returned if isinstance(t, int)
+                        ),
+                    )
+                    if self.summaries.get(fn.qname) != summary:
+                        self.summaries[fn.qname] = summary
+                        changed = True
+            if not changed:
+                break
+
+    def _record_calls(self) -> None:
+        for mir in self.project.modules:
+            records: List[_SymbolicCall] = []
+            for fn in mir.functions:
+                env = self._param_tokens(fn)
+                self._walk(fn, mir, env, records)
+            self._calls[mir.module] = records
+
+    def _concrete(self, tokens: Tokens, caller: str) -> bool:
+        if "T" in tokens:
+            return True
+        tainted = self.param_taint.get(caller)
+        if not tainted:
+            return False
+        return any(t in tainted for t in tokens if isinstance(t, int))
+
+    def _fixpoint_param_taint(self) -> None:
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for records in self._calls.values():
+                for rec in records:
+                    if rec.callee is None:
+                        continue
+                    callee_fn = self._function(rec.callee)
+                    if callee_fn is None:
+                        continue
+                    offset = _self_offset(callee_fn, rec.call)
+                    slots = self.param_taint.setdefault(rec.callee, set())
+                    for pos, tokens in enumerate(rec.args):
+                        idx = pos + offset
+                        if idx < len(callee_fn.params) and idx not in slots:
+                            if self._concrete(tokens, rec.fn_qname):
+                                slots.add(idx)
+                                changed = True
+                    for kw_name, tokens in rec.kwargs:
+                        if kw_name is None:
+                            continue
+                        if kw_name in callee_fn.params:
+                            idx = callee_fn.params.index(kw_name)
+                            if idx not in slots and self._concrete(
+                                tokens, rec.fn_qname
+                            ):
+                                slots.add(idx)
+                                changed = True
+            if not changed:
+                break
+
+    # -- public API -----------------------------------------------------
+
+    def records(self, mir: ModuleIR) -> Iterator[CallTaintRecord]:
+        """Concrete taint records for every call site in *mir*."""
+        for rec in self._calls.get(mir.module, []):
+            yield CallTaintRecord(
+                module=mir.module,
+                fn_qname=rec.fn_qname,
+                call=rec.call,
+                callee=rec.callee,
+                args=tuple(
+                    self._concrete(t, rec.fn_qname) for t in rec.args
+                ),
+                kwargs=tuple(
+                    (name, self._concrete(t, rec.fn_qname))
+                    for name, t in rec.kwargs
+                ),
+                base_tainted=self._concrete(rec.base, rec.fn_qname),
+                result_tainted=self._concrete(rec.result, rec.fn_qname),
+            )
+
+
+def _self_offset(callee_fn: Optional[FuncIR], call: VCall) -> int:
+    """Positional offset for implicit ``self``/``cls`` receivers."""
+    if callee_fn is None or not callee_fn.params:
+        return 0
+    if callee_fn.params[0] in ("self", "cls") and (
+        callee_fn.is_method or callee_fn.name == "__init__"
+    ):
+        # ``Class(...)`` and ``obj.m(...)`` both omit the receiver.
+        return 1
+    return 0
+
+
+def _bind(
+    target: TargetSpec,
+    tokens: Tokens,
+    elems: Optional[Tuple[Tokens, ...]],
+    env: Dict[str, Tokens],
+) -> None:
+    """Bind an assignment target, unpacking tuple structure when present.
+
+    *elems* carries per-element token sets when the right-hand side was
+    a tuple display of matching arity; otherwise every unpacked name
+    receives the combined *tokens* (sound over-approximation).
+    """
+    kind = target[0]
+    if kind == "name":
+        env[str(target[1])] = tokens
+    elif kind == "tuple":
+        subtargets = target[1]
+        if elems is not None and len(elems) == len(subtargets):
+            for sub, sub_tokens in zip(subtargets, elems):
+                _bind(sub, sub_tokens, None, env)
+        else:
+            for sub in subtargets:
+                _bind(sub, tokens, None, env)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from .config import Scale, ScaleConfig
 from .program import WORKLOAD_NAMES, get_workload
@@ -152,9 +152,39 @@ def _cmd_simulate(scale: ScaleConfig, workload: str) -> int:
 
 def _make_progress_bus() -> "EventBus":
     """An event bus whose subscribers narrate the run on stderr."""
-    from .events import EstimateUpdated, EventBus, PhaseChange, SampleTaken
+    from .events import (
+        EstimateUpdated,
+        EventBus,
+        PhaseChange,
+        SampleTaken,
+        SegmentEnd,
+        SegmentStart,
+        ThresholdSelected,
+    )
 
     bus = EventBus()
+
+    # Per-role segment tallies, summarised on the final estimate rather
+    # than per segment (a run executes tens of thousands of segments).
+    segments_started = [0]
+    segment_totals: Dict[str, List[int]] = {}
+
+    def on_segment_start(event: SegmentStart) -> None:
+        segments_started[0] += 1
+
+    def on_segment_end(event: SegmentEnd) -> None:
+        tally = segment_totals.setdefault(event.role, [0, 0])
+        tally[0] += 1
+        tally[1] += event.ops
+
+    def on_threshold(event: ThresholdSelected) -> None:
+        gate = "" if event.usable else " (fallback)"
+        print(
+            f"  threshold selected: {event.threshold:.3f}*pi -> "
+            f"{event.n_phases} phases, change rate "
+            f"{event.change_rate:.3f}{gate}",
+            file=sys.stderr,
+        )
 
     def on_sample(event: SampleTaken) -> None:
         print(
@@ -179,10 +209,24 @@ def _make_progress_bus() -> "EventBus":
             f"after {event.n_samples} samples",
             file=sys.stderr,
         )
+        if event.final and segment_totals:
+            mix = ", ".join(
+                f"{role}: {n} x {ops:,} ops"
+                for role, (n, ops) in sorted(segment_totals.items())
+            )
+            print(
+                f"  segment mix ({segments_started[0]} started): {mix}",
+                file=sys.stderr,
+            )
+            segments_started[0] = 0
+            segment_totals.clear()
 
+    bus.subscribe(SegmentStart, on_segment_start)
+    bus.subscribe(SegmentEnd, on_segment_end)
     bus.subscribe(SampleTaken, on_sample)
     bus.subscribe(PhaseChange, on_phase)
     bus.subscribe(EstimateUpdated, on_estimate)
+    bus.subscribe(ThresholdSelected, on_threshold)
     return bus
 
 

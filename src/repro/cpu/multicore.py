@@ -19,7 +19,10 @@ pollute the shared cache, which this model produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from ..sampling.pgss import PgssConfig
 
 from ..bbv import BbvTracker, ReducedBbvHash
 from ..config import DEFAULT_MACHINE, MachineConfig
@@ -152,7 +155,11 @@ class MultiCorePgss:
         machine: per-core machine configuration.
     """
 
-    def __init__(self, config_factory, machine: MachineConfig = DEFAULT_MACHINE) -> None:
+    def __init__(
+        self,
+        config_factory: Callable[[int], "PgssConfig"],
+        machine: MachineConfig = DEFAULT_MACHINE,
+    ) -> None:
         self.config_factory = config_factory
         self.machine = machine
 

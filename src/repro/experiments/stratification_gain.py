@@ -20,6 +20,7 @@ from typing import Any, Dict, List
 import numpy as np
 
 from ..phase import OnlinePhaseClassifier
+from ..sampling.full import ReferenceTrace
 from ..stats.sampling_theory import required_samples_comparison
 from .cells import ExperimentCell, trace_cell
 from .formatting import table
@@ -31,7 +32,9 @@ __all__ = ["run", "format_result", "cells"]
 THRESHOLD_PI = 0.05
 
 
-def _labels_from_truth(ctx: ExperimentContext, name: str, trace) -> list:
+def _labels_from_truth(
+    ctx: ExperimentContext, name: str, trace: ReferenceTrace
+) -> List[int]:
     program = ctx.program(name)
     behaviors = sorted(program.behaviors)
     index = {b: i for i, b in enumerate(behaviors)}
@@ -43,7 +46,7 @@ def _labels_from_truth(ctx: ExperimentContext, name: str, trace) -> list:
     return labels
 
 
-def _labels_from_classifier(trace) -> list:
+def _labels_from_classifier(trace: ReferenceTrace) -> List[int]:
     classifier = OnlinePhaseClassifier(THRESHOLD_PI * math.pi)
     labels = []
     for bbv, ops in zip(trace.normalized_bbvs(), trace.ops):

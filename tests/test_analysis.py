@@ -480,14 +480,38 @@ class TestReporters:
         for finding in document["findings"]:
             assert sorted(finding) == [
                 "col",
+                "end_line",
                 "line",
                 "message",
                 "path",
                 "rule",
                 "severity",
             ]
+            assert finding["end_line"] >= finding["line"]
         assert document["findings"][0]["rule"] == "DET004"
         assert document["findings"][0]["severity"] == "error"
+
+    def test_json_findings_sorted_and_deterministic(self):
+        found = self._findings()
+        assert render_json(found) == render_json(list(reversed(found)))
+        document = json.loads(render_json(found))
+        keys = [
+            (f["path"], f["line"], f["col"], f["rule"])
+            for f in document["findings"]
+        ]
+        assert keys == sorted(keys)
+
+    def test_json_stats_block(self):
+        stats = {"modules_total": 3, "modules_extracted": 1}
+        document = json.loads(render_json(self._findings(), stats=stats))
+        assert sorted(document) == [
+            "analysis",
+            "findings",
+            "summary",
+            "tool",
+            "version",
+        ]
+        assert document["analysis"] == stats
 
     def test_max_severity_levels(self):
         found = self._findings()
@@ -596,7 +620,15 @@ class TestRealTree:
         """AST-level stand-in for mypy's disallow_untyped_defs gate."""
         missing = []
         gated = [SRC_REPRO / "events.py"]
-        for pkg in ("analysis", "bbv", "program", "sampling", "stats"):
+        for pkg in (
+            "analysis",
+            "bbv",
+            "cpu",
+            "experiments",
+            "program",
+            "sampling",
+            "stats",
+        ):
             gated.extend(sorted((SRC_REPRO / pkg).rglob("*.py")))
         for path in gated:
             tree = ast.parse(path.read_text())
