@@ -1,10 +1,18 @@
-"""Engine-rate bench: scalar vs. batched fast-forward throughput.
+"""Engine-rate bench: scalar vs. batched throughput for every mode.
 
 Measures the raw simulation rate (ops/second) of every execution mode
-through both dispatch paths and asserts the batched fast-forward layer
-delivers its headline speedup: FUNC_FAST with BBV tracking at least 5x
-the scalar event loop.  Detailed modes always run the scalar path, so
-their two columns double as a dispatch-overhead sanity check.
+through both dispatch paths and asserts the batched layer delivers its
+headline speedups: FUNC_FAST with BBV tracking at least 5x the scalar
+event loop, and the batched detailed pipeline (run-length scoreboard
+batching plus steady-state memoization) at least 10x the scalar DETAIL
+loop.
+
+Shared machines drift in effective speed by tens of percent over
+minutes, which is far more than the margins being asserted.  Each
+gated mode is therefore measured as an interleaved best-of-N: the
+batched and scalar arms alternate rep by rep (so both sample the same
+machine phases) and each arm keeps its best rate.  Ratios of best
+rates are stable where single-shot ratios swing wildly.
 
 Beyond the human-readable table in ``results/engine_rate.txt``, the raw
 numbers land in ``results/BENCH_engine_rate.json`` for machine
@@ -24,11 +32,17 @@ from conftest import record
 RATE_BENCHMARK = "164.gzip"
 RATE_OPS = 600_000
 
-#: Modes that exercise the batched dispatch path.
-BATCHED_MODES = (Mode.FUNC_FAST, Mode.FUNC_WARM)
+#: Reps per arm for the gated modes (interleaved, best-of-N).  The
+#: batched arm's timed region is ~10x shorter than the scalar arm's, so
+#: it needs more samples to pin down its peak rate.
+RATE_REPS = 3
+RATE_REPS_BATCHED = 6
+
+#: Modes with a distinct batched dispatch path (scalar arm also timed).
+BATCHED_MODES = (Mode.DETAIL, Mode.DETAIL_WARM, Mode.FUNC_FAST, Mode.FUNC_WARM)
 
 
-def _rate(ctx, mode, with_bbv, batched):
+def _rate_once(ctx, mode, with_bbv, batched):
     program = ctx.program(RATE_BENCHMARK)
     tracker = BbvTracker() if with_bbv else None
     engine = SimulationEngine(
@@ -48,10 +62,22 @@ def measure(ctx):
     for mode in Mode:
         for with_bbv in (False, True):
             suffix = "+bbv" if with_bbv else ""
-            rates[f"{mode.value}{suffix}"] = _rate(ctx, mode, with_bbv, True)
             if mode in BATCHED_MODES:
-                rates[f"{mode.value}_scalar{suffix}"] = _rate(
-                    ctx, mode, with_bbv, False
+                # Interleave the arms so a machine-speed phase hits both.
+                best_b = best_s = 0.0
+                for rep in range(RATE_REPS_BATCHED):
+                    b = _rate_once(ctx, mode, with_bbv, True)
+                    if b > best_b:
+                        best_b = b
+                    if rep < RATE_REPS:
+                        s = _rate_once(ctx, mode, with_bbv, False)
+                        if s > best_s:
+                            best_s = s
+                rates[f"{mode.value}{suffix}"] = best_b
+                rates[f"{mode.value}_scalar{suffix}"] = best_s
+            else:
+                rates[f"{mode.value}{suffix}"] = _rate_once(
+                    ctx, mode, with_bbv, True
                 )
     speedups = {
         f"{mode.value}{suffix}": (
@@ -84,9 +110,12 @@ def format_result(result):
             )
     header = (
         "Engine throughput — batched vs. scalar dispatch "
-        f"({RATE_BENCHMARK}, {RATE_OPS:,} ops per timed run)\n"
+        f"({RATE_BENCHMARK}, {RATE_OPS:,} ops per timed run, best of "
+        f"{RATE_REPS_BATCHED} batched / {RATE_REPS} scalar interleaved reps)\n"
         f"batched FUNC_FAST+BBV speedup: "
-        f"{result['speedups'].get('func_fast+bbv', 0.0):.1f}x\n\n"
+        f"{result['speedups'].get('func_fast+bbv', 0.0):.1f}x\n"
+        f"batched DETAIL speedup: "
+        f"{result['speedups'].get('detail', 0.0):.1f}x\n\n"
     )
     return header + table(["mode", "batched", "scalar", "speedup"], rows)
 
@@ -98,6 +127,7 @@ def test_engine_rate(benchmark, ctx, results_dir):
     payload = {
         "benchmark": RATE_BENCHMARK,
         "ops_per_run": RATE_OPS,
+        "reps_per_arm": {"batched": RATE_REPS_BATCHED, "scalar": RATE_REPS},
         "scale": ctx.scale.name,
         "python": platform.python_version(),
         "rates_ops_per_sec": {k: round(v, 1) for k, v in result["rates"].items()},
@@ -110,10 +140,14 @@ def test_engine_rate(benchmark, ctx, results_dir):
     rates = result["rates"]
     # Every mode must make forward progress.
     assert all(r > 0 for r in rates.values())
-    # The acceptance bar: batched FUNC_FAST with BBV at least 5x scalar.
+    # The acceptance bars: batched FUNC_FAST with BBV at least 5x scalar,
+    # batched DETAIL at least 10x the scalar detailed loop.
     assert result["speedups"]["func_fast+bbv"] >= 5.0
     assert result["speedups"]["func_fast"] >= 5.0
-    # FUNC_WARM batching must at least not regress.
+    assert result["speedups"]["detail"] >= 10.0
+    # The warm variants batch the same way; guard against regression
+    # without pinning them to the headline floor.
+    assert result["speedups"]["detail_warm"] >= 5.0
     assert result["speedups"]["func_warm+bbv"] >= 0.9
 
     benchmark.extra_info["speedups"] = {

@@ -124,7 +124,9 @@ class SimulationEngine:
             execution-driven :class:`~repro.program.ProgramStream` — e.g.
             a :class:`~repro.program.trace_io.TraceStream` for
             trace-driven simulation.
-        batched: batched fast-forward policy for the functional modes.
+        batched: batched execution policy (all four modes: run-length
+            fast-forward for the functional modes, the memoized
+            run-at-a-time pipeline path for the detailed ones).
             ``None`` (default) auto-detects: batching is used whenever
             the stream supports ``next_events`` and the tracker (if any)
             supports ``record_batch``, and falls back to the scalar
@@ -171,7 +173,7 @@ class SimulationEngine:
         return self.stream.exhausted
 
     def _batching(self, tracker: Optional[Any]) -> bool:
-        """Whether the functional modes should take the batched path."""
+        """Whether this run should take the batched (run-length) path."""
         if self.batched is False:
             return False
         return hasattr(self.stream, "next_events") and (
@@ -237,7 +239,17 @@ class SimulationEngine:
         if mode.is_detailed:
             pipeline = self.pipeline
             start_cycle = pipeline.cycle
-            ops = self._run_scalar(pipeline.execute_event, n_ops, tracker)
+            if self._batching(tracker):
+                runs = self.stream.next_events(n_ops)
+                execute_run = pipeline.execute_run
+                ops = 0
+                for run in runs:
+                    execute_run(run)
+                    ops += run.n * run.block.n_ops
+                if tracker is not None and runs:
+                    tracker.record_batch(runs)
+            else:
+                ops = self._run_scalar(pipeline.execute_event, n_ops, tracker)
             if ops:
                 # Issue-cycle delta: window boundaries telescope exactly,
                 # so per-window cycles over a full run sum to the full

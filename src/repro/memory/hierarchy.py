@@ -8,10 +8,14 @@ and an L2 miss additionally pays the memory latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..config import MachineConfig
+from ..program.mem_patterns import PatternKind
 from .cache import Cache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..program.mem_patterns import MemPattern
 
 __all__ = ["AccessResult", "CacheHierarchy"]
 
@@ -43,7 +47,7 @@ class CacheHierarchy:
     def __init__(
         self,
         machine: MachineConfig,
-        shared_l2: Cache = None,
+        shared_l2: Optional[Cache] = None,
         address_salt: int = 0,
     ) -> None:
         """Build the hierarchy.
@@ -68,6 +72,11 @@ class CacheHierarchy:
         self.l2 = shared_l2 if shared_l2 is not None else Cache(machine.l2, "L2")
         self.memory_accesses = 0
         self._salt = address_salt
+
+    @property
+    def address_salt(self) -> int:
+        """The per-core address salt XORed into every access."""
+        return self._salt
 
     def data_latency(self, addr: int, is_write: bool = False) -> int:
         """Access the data side; return total latency in cycles."""
@@ -114,6 +123,52 @@ class CacheHierarchy:
         if self.l2.stats.hits > before_l2:
             return AccessResult(lat, 2)
         return AccessResult(lat, 3)
+
+    def data_silent_hit(self, addr: int, is_write: bool = False) -> bool:
+        """Would a data access at *addr* be an L1 hit with no state change?
+
+        A silent L1 hit never reaches the L2, so it is the condition under
+        which a data access leaves the entire hierarchy byte-identical
+        (counters aside) — see :meth:`Cache.is_silent_hit`.
+        """
+        return self.l1d.is_silent_hit(addr ^ self._salt, is_write)
+
+    def silent_data_span(self, pattern: "MemPattern", k_start: int, limit: int) -> int:
+        """How many consecutive executions of *pattern* stay silent?
+
+        Returns the largest ``m <= limit`` such that the accesses for
+        ``k in [k_start, k_start + m)`` would all be silent L1 hits
+        (:meth:`data_silent_hit`) against the *current* data-cache state.
+        Because silent accesses change no state, the answer is valid for
+        the whole span at once — the memory-side steadiness probe of the
+        detailed pipeline's closed-form fast path.
+
+        Strided patterns are probed one cache line at a time (consecutive
+        executions sharing a line are vouched for together); hashed
+        patterns are probed per execution, after a fast rejection when
+        their footprint cannot possibly be L1-resident.
+        """
+        if limit <= 0:
+            return 0
+        kind = pattern.kind
+        l1d = self.l1d
+        if kind is PatternKind.STREAM or kind is PatternKind.REUSE:
+            return l1d.silent_span_strided(
+                pattern.base,
+                pattern.stride,
+                pattern.span,
+                k_start,
+                limit,
+                pattern.is_write,
+                self._salt,
+            )
+        # RANDOM / CHASE: scattered addresses.  A footprint larger than the
+        # L1 cannot be fully resident, so the span is zero without probing.
+        if pattern.span > l1d.config.size_bytes:
+            return 0
+        return l1d.silent_span_hashed(
+            pattern.address, k_start, limit, pattern.is_write, self._salt
+        )
 
     def warm_data(self, addr: int, is_write: bool = False) -> None:
         """Touch the data side without caring about latency (warming mode)."""

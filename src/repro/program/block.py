@@ -16,8 +16,10 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+from typing import Tuple
+
 from ..errors import ProgramError
-from ..isa import Instruction, N_FP_REGS, N_INT_REGS, Op
+from ..isa import FU_CLASS, Instruction, N_FP_REGS, N_INT_REGS, Op
 from .mem_patterns import MemPattern, PatternKind
 
 __all__ = ["BasicBlock", "BlockBuilder"]
@@ -106,6 +108,49 @@ class BasicBlock:
         self.inst_lines: List[int] = [
             line * _LINE_BYTES for line in range(first_line, last_line + 1)
         ]
+
+        #: Fully compiled per-instruction rows for the batched pipeline:
+        #: one tuple ``(op, fu, dst, src1, src2, lat, mem_i)`` per
+        #: instruction, so the hot loop pays a single unpack instead of six
+        #: parallel-list index operations per op.
+        self.rows: List[Tuple[int, int, int, int, int, int, int]] = [
+            (
+                self.ops[i],
+                int(FU_CLASS[Op(self.ops[i])]),
+                self.dsts[i],
+                self.src1s[i],
+                self.src2s[i],
+                self.lats[i],
+                self.mem_idx[i],
+            )
+            for i in range(self.n_ops)
+        ]
+        #: Registers whose *incoming* ready-time can influence this block's
+        #: timing: sources read before any in-block write reaches them.
+        #: This is the register slice of the pipeline's memoization context.
+        live_in: List[int] = []
+        written: List[int] = []
+        for _op, _fu, dst, src1, src2, _lat, _mi in self.rows:
+            for s in (src1, src2):
+                if s > 0 and s not in written and s not in live_in:
+                    live_in.append(s)
+            if dst > 0 and dst not in written:
+                written.append(dst)
+        self.live_in_regs: Tuple[int, ...] = tuple(sorted(live_in))
+        #: Registers this block writes (their outgoing ready-times are the
+        #: register slice of the memoized timing transition's output).
+        self.written_regs: Tuple[int, ...] = tuple(sorted(written))
+        #: Functional-unit classes occupied unpipelined by divide ops; the
+        #: only classes whose busy-times the scoreboard ever reads.
+        self.div_fus: Tuple[int, ...] = tuple(
+            sorted(
+                {
+                    row[1]
+                    for row in self.rows
+                    if row[0] in (int(Op.IDIV), int(Op.FDIV))
+                }
+            )
+        )
 
     def __repr__(self) -> str:
         return (

@@ -115,6 +115,48 @@ class TestEngineEquivalence:
             assert scalar.snapshot() == batched.snapshot()
         assert scalar.accounting.ops == batched.accounting.ops
 
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [Mode.DETAIL, Mode.DETAIL_WARM, Mode.FUNC_WARM]
+                ),
+                st.integers(min_value=1, max_value=30_000),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_detail_windows_byte_identical_on_real_workload(self, windows):
+        """The batched detailed pipeline's claim, checked the hard way:
+        for arbitrary window interleavings on a real workload, every
+        window's cycle count AND all cache/predictor state AND all
+        statistics counters match the scalar loop exactly."""
+        program = _workload("164.gzip")
+        scalar = SimulationEngine(program, batched=False)
+        batched = SimulationEngine(program, batched=True)
+        for mode, n_ops in windows:
+            r1 = scalar.run(mode, n_ops)
+            r2 = batched.run(mode, n_ops)
+            assert (r1.ops, r1.cycles, r1.exhausted) == (
+                r2.ops,
+                r2.cycles,
+                r2.exhausted,
+            )
+            h1, h2 = scalar.hierarchy, batched.hierarchy
+            assert h1.snapshot() == h2.snapshot()
+            assert h1.stats_summary() == h2.stats_summary()
+            assert h1.memory_accesses == h2.memory_accesses
+            for c1, c2 in zip((h1.l1i, h1.l1d, h1.l2), (h2.l1i, h2.l1d, h2.l2)):
+                assert c1.stats.writebacks == c2.stats.writebacks
+            assert scalar.predictor.snapshot() == batched.predictor.snapshot()
+            s1, s2 = scalar.predictor.stats, batched.predictor.stats
+            assert (s1.predictions, s1.mispredictions) == (
+                s2.predictions,
+                s2.mispredictions,
+            )
+
     @pytest.mark.parametrize("name", WORKLOADS)
     def test_bbv_vector_sequence_identical(self, name):
         """Period-boundary BBV vectors are bit-identical on real workloads."""

@@ -110,3 +110,80 @@ class TestGshareSpecific:
         g.predict_update(0x0, True)
         snap = g.snapshot()
         assert "history" in snap
+
+
+class TestBulkFastPaths:
+    """is_steady / taken_streak — the batched pipeline's branch probes.
+
+    Both claim byte-identity with sequences of real ``predict_update``
+    calls; the reference clones the predictor through a snapshot and
+    replays the calls one at a time.
+    """
+
+    def _clone(self, predictor):
+        other = type(predictor)(table_bits=predictor.table_bits)
+        other.restore(predictor.snapshot())
+        return other
+
+    def _train(self, predictor, seed=7, n=300):
+        rng = random.Random(seed)
+        addrs = [0x1000, 0x104C, 0x2020, 0x5FF4]
+        for _ in range(n):
+            addr = rng.choice(addrs)
+            # Loop-shaped outcomes: mostly taken with periodic exits.
+            predictor.predict_update(addr, rng.random() < 0.85)
+
+    @pytest.mark.parametrize("taken", (True, False))
+    def test_is_steady_implies_no_state_change(self, predictor, taken):
+        self._train(predictor)
+        checked = 0
+        for addr in (0x1000, 0x104C, 0x2020, 0x5FF4):
+            # Drive the address to its fixed point for this outcome.
+            for _ in range(20):
+                predictor.predict_update(addr, taken)
+            if not predictor.is_steady(addr, taken):
+                continue  # gshare history may belong to the other outcome
+            checked += 1
+            before = predictor.snapshot()
+            assert predictor.predict_update(addr, taken) is True
+            assert predictor.snapshot() == before
+        if isinstance(predictor, BimodalPredictor):
+            assert checked > 0  # no history: saturation always steadies
+
+    def test_not_steady_while_training(self, predictor):
+        assert not predictor.is_steady(0x1000, True)  # weak-taken start
+
+    @pytest.mark.parametrize("limit", (0, 1, 7, 40))
+    def test_taken_streak_matches_sequential_updates(self, predictor, limit):
+        self._train(predictor)
+        # Leave the history mid-refill: a not-taken then a few takens.
+        predictor.predict_update(0x1000, False)
+        predictor.predict_update(0x1000, True)
+        reference = self._clone(predictor)
+        base_preds = predictor.stats.predictions
+        base_miss = predictor.stats.mispredictions
+        applied = predictor.taken_streak(0x1000, limit)
+        assert 0 <= applied <= limit
+        for _ in range(applied):
+            assert reference.predict_update(0x1000, True) is True
+        assert predictor.snapshot() == reference.snapshot()
+        # Every bulk step was a real prediction, and none mispredicted.
+        assert predictor.stats.predictions - base_preds == applied
+        assert predictor.stats.mispredictions == base_miss
+        # The step after the streak behaves identically on both.
+        before_mis = predictor.stats.mispredictions
+        p = predictor.predict_update(0x1000, True)
+        r = reference.predict_update(0x1000, True)
+        assert p == r
+        assert predictor.snapshot() == reference.snapshot()
+        if applied < limit:
+            # The streak stopped for a reason: the next real taken update
+            # either mispredicts or writes a table entry.
+            assert (
+                predictor.stats.mispredictions > before_mis
+                or p is True
+            )
+
+    def test_streak_stops_before_unsaturated_entry(self, predictor):
+        # Fresh table: weak-taken counters would move, so no bulk steps.
+        assert predictor.taken_streak(0x1000, 100) == 0

@@ -251,3 +251,46 @@ class TestWindowAccounting:
             pipe.execute_event(BlockEvent(block, True, i))
             assert pipe.cycle >= last
             last = pipe.cycle
+
+
+class TestCrossBlockOccupancy:
+    def test_mshr_file_saturation_stalls_until_drain(self):
+        """A full MSHR file blocks further misses until an entry drains,
+        and the lazily-drained heap never holds more live entries than
+        the file has registers."""
+        machine = MachineConfig(n_mshrs=2)
+        pipe = make_pipeline(machine)
+        pipe.hierarchy.warm_inst(0x1000)
+        pipe.hierarchy.warm_inst(0x1040)
+        pats = [
+            MemPattern(PatternKind.REUSE, base=(1 + i) << 24, span=64)
+            for i in range(8)
+        ]
+        insts = [
+            Instruction(Op.LOAD, dst=1 + i, src1=0, mem_index=i)
+            for i in range(8)
+        ] + [Instruction(Op.BRANCH, src1=0)]
+        cycles = run_block(pipe, insts, mem_patterns=pats)
+        # 8 independent misses through 2 registers: issue must wait for
+        # at least three full drains beyond the overlapped pair.
+        assert cycles >= 3 * machine.memory_latency
+        assert len(pipe._mshrs) <= machine.n_mshrs
+
+    def test_divide_occupancy_spans_block_boundaries(self):
+        """An IDIV's unpipelined occupancy carries into the next block:
+        the unit's next-free cycle is scoreboard state, not block state."""
+        pipe = make_pipeline()
+        pipe.hierarchy.warm_inst(0x1000)
+        insts = [
+            Instruction(Op.IDIV, dst=1, src1=0, src2=0),
+            Instruction(Op.BRANCH, src1=0),
+        ]
+        first = run_block(pipe, insts, bid=0)
+        # The branch does not wait on the divide, so the first block ends
+        # long before the unit frees up...
+        assert first < 10
+        # ...and each following block's divide stalls on the busy unit.
+        second = run_block(pipe, insts, bid=1)
+        third = run_block(pipe, insts, bid=2)
+        assert second >= 10
+        assert third >= 10
