@@ -73,7 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.add_argument(
         "-t",
         "--technique",
-        choices=["smarts", "turbosmarts", "simpoint", "online-simpoint", "pgss"],
+        choices=[
+            "smarts",
+            "turbosmarts",
+            "simpoint",
+            "online-simpoint",
+            "pgss",
+            "stratified",
+            "ranked",
+        ],
         default="pgss",
     )
     p_sample.add_argument(
@@ -243,12 +251,16 @@ def _cmd_sample(
         OnlineSimPointConfig,
         Pgss,
         PgssConfig,
+        RankedSetConfig,
+        RankedSetSampling,
         SimPoint,
         SimPointConfig,
         Smarts,
         SmartsConfig,
         TurboSmarts,
         TurboSmartsConfig,
+        TwoPhaseStratified,
+        TwoPhaseStratifiedConfig,
     )
 
     program = get_workload(workload, scale)
@@ -264,6 +276,16 @@ def _cmd_sample(
         tech = OnlineSimPoint(
             OnlineSimPointConfig(period or scale.simpoint_intervals[-1], threshold)
         )
+    elif technique == "stratified":
+        overrides = {"interval_ops": period} if period else {}
+        tech = TwoPhaseStratified(
+            TwoPhaseStratifiedConfig.from_scale(
+                scale, threshold_pi=threshold, **overrides
+            )
+        )
+    elif technique == "ranked":
+        overrides = {"interval_ops": period} if period else {}
+        tech = RankedSetSampling(RankedSetConfig.from_scale(scale, **overrides))
     else:
         tech = Pgss(
             PgssConfig.from_scale(

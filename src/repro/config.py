@@ -121,12 +121,19 @@ class SampleBudget:
         warmup_ops: detailed warming before each sample (paper: ~3000).
         rel_error: relative CI half-width target (paper: 3%).
         confidence: confidence level (paper: 99.7%).
+        pilot_per_stratum: stage-1 pilot samples per stratum for the
+            two-phase (stratified) techniques — the cheap variance probe
+            that Neyman allocation divides the remaining budget by.
+        stage2_samples: total detailed-sample budget the two-phase
+            techniques split across strata (pilots included).
     """
 
     detail_ops: int
     warmup_ops: int
     rel_error: float
     confidence: float
+    pilot_per_stratum: int = 2
+    stage2_samples: int = 24
 
     def __post_init__(self) -> None:
         if self.detail_ops <= 0 or self.warmup_ops < 0:
@@ -135,6 +142,10 @@ class SampleBudget:
             raise ConfigurationError("rel_error must be positive")
         if not 0.0 < self.confidence < 1.0:
             raise ConfigurationError("confidence must be in (0, 1)")
+        if self.pilot_per_stratum < 1:
+            raise ConfigurationError("pilot_per_stratum must be at least 1")
+        if self.stage2_samples < 1:
+            raise ConfigurationError("stage2_samples must be at least 1")
 
     @property
     def ops_per_sample(self) -> int:
@@ -177,6 +188,10 @@ class ScaleConfig:
             trace used by the offline analyses (Figs. 2, 3, 7-10) and by
             SimPoint's profiling pass.  All interval sizes above must be
             multiples of this.
+        stratified_pilot: stage-1 pilot samples per stratum for the
+            two-phase stratified technique (variance probe).
+        stratified_samples: total detailed-sample budget of the
+            stage-1/stage-2 split techniques (pilots included).
     """
 
     name: str
@@ -194,6 +209,8 @@ class ScaleConfig:
     turbo_confidence: float = 0.997
     turbo_rel_error: float = 0.03
     trace_window: int = 5_000
+    stratified_pilot: int = 2
+    stratified_samples: int = 24
 
     def __post_init__(self) -> None:
         if self.benchmark_ops <= 0:
@@ -225,6 +242,8 @@ class ScaleConfig:
             warmup_ops=self.smarts_warmup,
             rel_error=self.turbo_rel_error,
             confidence=self.turbo_confidence,
+            pilot_per_stratum=self.stratified_pilot,
+            stage2_samples=self.stratified_samples,
         )
 
 
@@ -248,6 +267,8 @@ class Scale:
         simpoint_intervals=(1_000_000, 10_000_000, 100_000_000),
         simpoint_extra=((30, 10_000_000), (300, 1_000_000)),
         trace_window=100_000,
+        stratified_pilot=3,
+        stratified_samples=100,
     )
 
     SCALED = ScaleConfig(
@@ -267,6 +288,8 @@ class Scale:
         # TurboSMARTS consumes comparable (see DESIGN.md).
         turbo_rel_error=0.10,
         trace_window=5_000,
+        stratified_pilot=2,
+        stratified_samples=40,
     )
 
     QUICK = ScaleConfig(
@@ -282,4 +305,6 @@ class Scale:
         simpoint_clusters=(3, 5, 8),
         simpoint_extra=(),
         trace_window=1_000,
+        stratified_pilot=2,
+        stratified_samples=16,
     )

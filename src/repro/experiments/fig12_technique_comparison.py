@@ -11,12 +11,20 @@ benchmarks:
   x three cluster counts, plus two extras); shown as the best
   configuration per benchmark and the best single overall configuration;
 * **Online SimPoint** — interval x threshold grid, same two views;
-* **PGSS** — the Figure 11 sweep, same two views.
+* **PGSS** — the Figure 11 sweep, same two views;
+* **FullDetail** — the whole-program detailed run anchoring both panels
+  (zero error, maximum cost);
+* **Stratified** — two-phase stratified sampling (stage-1 phase profile,
+  stage-2 Neyman-allocated budget), one canonical configuration;
+* **RankedSet** — ranked-set sampling over a functional-warming cost
+  proxy, one canonical configuration.
 
 The shape to reproduce: SMARTS and SimPoint most accurate but expensive;
 PGSS close in accuracy with roughly an order of magnitude less detailed
 simulation than SMARTS and far less than SimPoint; PGSS both more accurate
-and cheaper than TurboSMARTS.
+and cheaper than TurboSMARTS.  The two stratified-family extensions sit
+between SMARTS and PGSS: several times cheaper than SMARTS at comparable
+error, with RankedSet the cheapest and noisiest of the family.
 """
 
 from __future__ import annotations
@@ -24,9 +32,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List
 
 from ..errors import OrchestrationError
+from ..sampling.full import FullDetail
 from ..sampling.online_simpoint import OnlineSimPoint, OnlineSimPointConfig
+from ..sampling.ranked import RankedSetConfig, RankedSetSampling
 from ..sampling.simpoint import SimPoint, SimPointConfig
 from ..sampling.smarts import Smarts, SmartsConfig
+from ..sampling.stratified import TwoPhaseStratified, TwoPhaseStratifiedConfig
 from ..sampling.turbosmarts import TurboSmarts, TurboSmartsConfig
 from ..stats.errors_metrics import arithmetic_mean, geometric_mean
 from .cells import ExperimentCell, trace_cell
@@ -84,6 +95,39 @@ def _simpoint_grid(ctx: ExperimentContext) -> List[SimPointConfig]:
     ]
 
 
+def _full_run(ctx: ExperimentContext, benchmark: str) -> Dict[str, Any]:
+    """One cached whole-program detailed run (the cost ceiling)."""
+    return ctx.run_cached(benchmark, FullDetail(ctx.machine), {})
+
+
+def _stratified_run(ctx: ExperimentContext, benchmark: str) -> Dict[str, Any]:
+    """One cached two-phase stratified run (scale-canonical config)."""
+    cfg = TwoPhaseStratifiedConfig.from_scale(ctx.scale)
+    return ctx.run_cached(
+        benchmark,
+        TwoPhaseStratified(cfg, ctx.machine),
+        {
+            "interval": cfg.interval_ops,
+            "samples": cfg.total_samples,
+            "pilot": cfg.pilot_per_stratum,
+        },
+    )
+
+
+def _ranked_run(ctx: ExperimentContext, benchmark: str) -> Dict[str, Any]:
+    """One cached ranked-set run (scale-canonical config)."""
+    cfg = RankedSetConfig.from_scale(ctx.scale)
+    return ctx.run_cached(
+        benchmark,
+        RankedSetSampling(cfg, ctx.machine),
+        {
+            "interval": cfg.interval_ops,
+            "set": cfg.set_size,
+            "sub": cfg.n_subsamples,
+        },
+    )
+
+
 def _smarts_run(ctx: ExperimentContext, benchmark: str) -> Dict[str, Any]:
     """One cached SMARTS run (the paper's canonical configuration)."""
     cfg = SmartsConfig.from_scale(ctx.scale)
@@ -138,16 +182,12 @@ def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
     """
     out = [trace_cell(name) for name in ctx.benchmarks]
     for benchmark in ctx.benchmarks:
-        out.append(
-            ExperimentCell.make(
-                "fig12_technique_comparison", benchmark, technique="smarts"
+        for technique in ("full", "smarts", "turbosmarts", "stratified", "ranked"):
+            out.append(
+                ExperimentCell.make(
+                    "fig12_technique_comparison", benchmark, technique=technique
+                )
             )
-        )
-        out.append(
-            ExperimentCell.make(
-                "fig12_technique_comparison", benchmark, technique="turbosmarts"
-            )
-        )
     for cfg in _simpoint_grid(ctx):
         for benchmark in ctx.benchmarks:
             out.append(
@@ -178,10 +218,16 @@ def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
 def run_cell(ctx: ExperimentContext, benchmark: str, params: Dict[str, Any]) -> Dict[str, Any]:
     """Parallel-driver entry: one cached technique run."""
     technique = params["technique"]
+    if technique == "full":
+        return _full_run(ctx, benchmark)
     if technique == "smarts":
         return _smarts_run(ctx, benchmark)
     if technique == "turbosmarts":
         return _turbo_run(ctx, benchmark)
+    if technique == "stratified":
+        return _stratified_run(ctx, benchmark)
+    if technique == "ranked":
+        return _ranked_run(ctx, benchmark)
     if technique == "simpoint":
         return _simpoint_run(ctx, benchmark, params["interval"], params["k"])
     if technique == "olsp":
@@ -227,9 +273,22 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
     """Run every technique on every benchmark (cached)."""
     result: Dict[str, Any] = {"benchmarks": list(ctx.benchmarks)}
 
+    # Full detail: the zero-error, maximum-cost anchor of both panels.
+    result["FullDetail"] = _summary(
+        _per_benchmark(ctx, lambda b: _full_run(ctx, b))
+    )
+
     # SMARTS.
     result["SMARTS"] = _summary(
         _per_benchmark(ctx, lambda b: _smarts_run(ctx, b))
+    )
+
+    # Two-phase stratified and ranked-set (single canonical config each).
+    result["Stratified"] = _summary(
+        _per_benchmark(ctx, lambda b: _stratified_run(ctx, b))
+    )
+    result["RankedSet"] = _summary(
+        _per_benchmark(ctx, lambda b: _ranked_run(ctx, b))
     )
 
     # TurboSMARTS (+ CI coverage observation).
@@ -294,6 +353,7 @@ def format_result(result: Dict[str, Any]) -> str:
     short = [b.split(".")[1] for b in benchmarks]
 
     views = [
+        ("FullDetail", result["FullDetail"]),
         ("SMARTS", result["SMARTS"]),
         ("TurboSMARTS", result["TurboSMARTS"]),
         ("SimPoint(best)", result["SimPoint"]["best_per_benchmark"]),
@@ -311,6 +371,8 @@ def format_result(result: Dict[str, Any]) -> str:
             f"PGSS({result['PGSS']['best_overall_config']})",
             result["PGSS"]["best_overall"],
         ),
+        ("Stratified", result["Stratified"]),
+        ("RankedSet", result["RankedSet"]),
     ]
 
     error_rows = []

@@ -5,10 +5,11 @@ Two parts, mirroring the paper's figure:
 * the measured simulation rate of every execution mode, with and without
   BBV tracking (the paper: BBV overhead is ~1% on detailed modes and
   negligible on functional warming);
-* the total simulation time of SMARTS, SimPoint, Online SimPoint and
-  PGSS-Sim for the whole ten-benchmark suite, composed from each
-  technique's per-mode operation counts and the measured rates (no
-  checkpointing, as in the paper).
+* the total simulation time of every technique family in Figure 12 —
+  FullDetail, SMARTS, TurboSMARTS, SimPoint, Online SimPoint, PGSS-Sim,
+  two-phase stratified, and ranked-set — for the whole benchmark suite,
+  composed from each technique's per-mode operation counts and the
+  measured rates (no checkpointing, as in the paper).
 
 The paper also notes its fast-forwarding is "only approximately four times
 faster than detailed simulation", which caps the wall-clock advantage of
@@ -113,18 +114,36 @@ def _technique_times(
     smarts_cfg = SmartsConfig.from_scale(ctx.scale)
     times: Dict[str, Dict[str, float]] = {}
 
+    def smarts_shaped_split(detail_total: float) -> Dict[str, float]:
+        """Split SMARTS-shaped detailed ops into warming and measurement."""
+        n_samples = detail_total / (smarts_cfg.detail_ops + smarts_cfg.warmup_ops)
+        measure = n_samples * smarts_cfg.detail_ops
+        return {"measure": measure, "warm": detail_total - measure}
+
+    # Full detail: the whole suite in detailed mode, nothing else.
+    times["FullDetail"] = {"detail": suite_ops / rates["detail"]}
+
     # SMARTS: functional warming between samples (no BBV), detailed
     # warming + detail per sample.
     smarts = fig12["SMARTS"]
     detail_ops = sum(smarts["detailed_ops"].values())
-    n_samples = detail_ops / (smarts_cfg.detail_ops + smarts_cfg.warmup_ops)
-    measure_ops = n_samples * smarts_cfg.detail_ops
-    warm_ops = detail_ops - measure_ops
+    split = smarts_shaped_split(detail_ops)
     ff_ops = suite_ops - detail_ops
     times["SMARTS"] = {
         "ff": ff_ops / rates["func_warm"],
-        "warm": warm_ops / rates["detail_warm"],
-        "detail": measure_ops / rates["detail"],
+        "warm": split["warm"] / rates["detail_warm"],
+        "detail": split["measure"] / rates["detail"],
+    }
+
+    # TurboSMARTS: same per-sample shape as SMARTS, fewer samples (the
+    # confidence-target budget from Fig. 12).
+    turbo = fig12["TurboSMARTS"]
+    turbo_detail = sum(turbo["detailed_ops"].values())
+    turbo_split = smarts_shaped_split(turbo_detail)
+    times["TurboSMARTS"] = {
+        "ff": (suite_ops - turbo_detail) / rates["func_warm"],
+        "warm": turbo_split["warm"] / rates["detail_warm"],
+        "detail": turbo_split["measure"] / rates["detail"],
     }
 
     # SimPoint (best overall config): one profiling pass with BBV, one
@@ -158,6 +177,30 @@ def _technique_times(
         "ff": (suite_ops - pgss_detail_total) / rates["func_warm+bbv"],
         "warm": pgss_warm / rates["detail_warm+bbv"],
         "detail": pgss_measure / rates["detail+bbv"],
+    }
+
+    # Two-phase stratified: a FUNC_FAST+BBV stage-1 profile of the whole
+    # suite, then pilot + stage-2 measurement passes that re-walk the
+    # suite functionally warm around their detailed samples.
+    strat = fig12["Stratified"]
+    strat_detail = sum(strat["detailed_ops"].values())
+    strat_split = smarts_shaped_split(strat_detail)
+    times["Stratified"] = {
+        "profile": suite_ops / rates["func_fast+bbv"],
+        "ff": (2 * suite_ops - strat_detail) / rates["func_warm"],
+        "warm": strat_split["warm"] / rates["detail_warm"],
+        "detail": strat_split["measure"] / rates["detail"],
+    }
+
+    # Ranked set: one functionally-warm ranking pass over the suite, then
+    # a functionally-warm measurement pass with detail per selected rank.
+    ranked = fig12["RankedSet"]
+    ranked_detail = sum(ranked["detailed_ops"].values())
+    ranked_split = smarts_shaped_split(ranked_detail)
+    times["RankedSet"] = {
+        "ff": (2 * suite_ops - ranked_detail) / rates["func_warm"],
+        "warm": ranked_split["warm"] / rates["detail_warm"],
+        "detail": ranked_split["measure"] / rates["detail"],
     }
     return times
 

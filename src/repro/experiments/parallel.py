@@ -113,12 +113,13 @@ def _execute_cell(
     """
     ctx = _context_from_spec(spec)
     use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
+    previous_handler = None
     # Host timing here measures orchestration wall time for reporting; it
     # never influences simulated state.
     start = time.perf_counter()  # simlint: disable=DET005
     try:
         if use_alarm:
-            signal.signal(signal.SIGALRM, _on_alarm)
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
             signal.alarm(max(int(math.ceil(timeout_s or 0.0)), 1))
         (runner or run_cell)(ctx, cell)
         status, error = "ok", ""
@@ -129,6 +130,11 @@ def _execute_cell(
     finally:
         if use_alarm:
             signal.alarm(0)
+            # The wrapper also runs in-process (jobs=1 retries, custom
+            # runners, tests); leaving _on_alarm installed would turn any
+            # later alarm in the host into a stray _CellTimeout.
+            if previous_handler is not None:
+                signal.signal(signal.SIGALRM, previous_handler)
     elapsed = time.perf_counter() - start  # simlint: disable=DET005
     return {
         "status": status,

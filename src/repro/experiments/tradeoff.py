@@ -2,10 +2,11 @@
 
 Not a figure from the paper, but the question its Figure 12 begs: *for a
 given detailed-op budget, which technique wins?*  SMARTS trades budget via
-its sampling period, PGSS via its spread rule; sweeping both produces an
-error-vs-detail curve per technique.  The paper's thesis corresponds to
-the PGSS curve lying below-left of the SMARTS curve over the low-budget
-region.
+its sampling period, PGSS via its spread rule, two-phase stratified via
+its total sample budget, and ranked-set via its set size; sweeping each
+produces an error-vs-detail curve per technique.  The paper's thesis
+corresponds to the PGSS curve lying below-left of the SMARTS curve over
+the low-budget region.
 
 Also includes the functional-warming ablation: SMARTS with cold samples
 (the pre-SMARTS sampling of Conte et al.) is biased because long-lifetime
@@ -20,7 +21,9 @@ from typing import Any, Dict, List
 
 from ..errors import OrchestrationError
 from ..sampling.pgss import Pgss, PgssConfig
+from ..sampling.ranked import RankedSetConfig, RankedSetSampling
 from ..sampling.smarts import Smarts, SmartsConfig
+from ..sampling.stratified import TwoPhaseStratified, TwoPhaseStratifiedConfig
 from ..stats.errors_metrics import arithmetic_mean
 from .cells import ExperimentCell, trace_cell
 from .formatting import fmt_ops, fmt_pct, table
@@ -33,6 +36,12 @@ SMARTS_PERIOD_FACTORS = (0.5, 1, 2, 4, 8)
 
 #: PGSS spread multipliers swept (relative to the scale's canonical one).
 PGSS_SPREAD_FACTORS = (0.25, 0.5, 1, 2, 4)
+
+#: Stratified total-budget multipliers swept (relative to the scale's).
+STRATIFIED_SAMPLE_FACTORS = (0.5, 1, 2, 4)
+
+#: Ranked-set set sizes swept (bigger sets = fewer, better-ranked samples).
+RANKED_SET_SIZES = (2, 3, 4, 5)
 
 
 def _smarts_run(
@@ -63,34 +72,70 @@ def _pgss_run(
     )
 
 
+def _stratified_run(
+    ctx: ExperimentContext, benchmark: str, samples: int
+) -> Dict[str, Any]:
+    """One cached two-phase stratified sweep-point run on one benchmark."""
+    cfg = TwoPhaseStratifiedConfig.from_scale(ctx.scale, total_samples=samples)
+    return ctx.run_cached(
+        benchmark,
+        TwoPhaseStratified(cfg, ctx.machine),
+        {"samples": samples, "sweep": "tradeoff"},
+    )
+
+
+def _ranked_run(
+    ctx: ExperimentContext, benchmark: str, set_size: int
+) -> Dict[str, Any]:
+    """One cached ranked-set sweep-point run on one benchmark."""
+    cfg = RankedSetConfig.from_scale(ctx.scale, set_size=set_size)
+    return ctx.run_cached(
+        benchmark,
+        RankedSetSampling(cfg, ctx.machine),
+        {"set": set_size, "sweep": "tradeoff"},
+    )
+
+
+def _sweep_point(
+    ctx: ExperimentContext, results: List[Dict[str, Any]]
+) -> Dict[str, float]:
+    """Suite-level error/cost summary of one sweep point's runs."""
+    errors = []
+    details = []
+    for name, res in zip(ctx.benchmarks, results):
+        true = ctx.true_ipc(name)
+        errors.append(100.0 * abs(res["ipc_estimate"] - true) / true)
+        details.append(res["detailed_ops"])
+    return {
+        "a_mean_error": arithmetic_mean(errors),
+        "mean_detailed_ops": arithmetic_mean(details),
+    }
+
+
 def _smarts_point(
     ctx: ExperimentContext, period: int, warming: bool
 ) -> Dict[str, float]:
-    errors = []
-    details = []
-    for name in ctx.benchmarks:
-        res = _smarts_run(ctx, name, period, warming)
-        true = ctx.true_ipc(name)
-        errors.append(100.0 * abs(res["ipc_estimate"] - true) / true)
-        details.append(res["detailed_ops"])
-    return {
-        "a_mean_error": arithmetic_mean(errors),
-        "mean_detailed_ops": arithmetic_mean(details),
-    }
+    return _sweep_point(
+        ctx, [_smarts_run(ctx, b, period, warming) for b in ctx.benchmarks]
+    )
 
 
 def _pgss_point(ctx: ExperimentContext, spread: int) -> Dict[str, float]:
-    errors = []
-    details = []
-    for name in ctx.benchmarks:
-        res = _pgss_run(ctx, name, spread)
-        true = ctx.true_ipc(name)
-        errors.append(100.0 * abs(res["ipc_estimate"] - true) / true)
-        details.append(res["detailed_ops"])
-    return {
-        "a_mean_error": arithmetic_mean(errors),
-        "mean_detailed_ops": arithmetic_mean(details),
-    }
+    return _sweep_point(
+        ctx, [_pgss_run(ctx, b, spread) for b in ctx.benchmarks]
+    )
+
+
+def _stratified_point(ctx: ExperimentContext, samples: int) -> Dict[str, float]:
+    return _sweep_point(
+        ctx, [_stratified_run(ctx, b, samples) for b in ctx.benchmarks]
+    )
+
+
+def _ranked_point(ctx: ExperimentContext, set_size: int) -> Dict[str, float]:
+    return _sweep_point(
+        ctx, [_ranked_run(ctx, b, set_size) for b in ctx.benchmarks]
+    )
 
 
 def _smarts_periods(ctx: ExperimentContext) -> List[int]:
@@ -101,6 +146,13 @@ def _pgss_spreads(ctx: ExperimentContext) -> List[int]:
     return [
         max(int(ctx.scale.pgss_spread * f), ctx.scale.pgss_best_period)
         for f in PGSS_SPREAD_FACTORS
+    ]
+
+
+def _stratified_budgets(ctx: ExperimentContext) -> List[int]:
+    return [
+        max(int(ctx.scale.stratified_samples * f), 2)
+        for f in STRATIFIED_SAMPLE_FACTORS
     ]
 
 
@@ -126,6 +178,20 @@ def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
                     "tradeoff", benchmark, technique="pgss", spread=spread
                 )
             )
+    for samples in _stratified_budgets(ctx):
+        for benchmark in ctx.benchmarks:
+            out.append(
+                ExperimentCell.make(
+                    "tradeoff", benchmark, technique="stratified", samples=samples
+                )
+            )
+    for set_size in RANKED_SET_SIZES:
+        for benchmark in ctx.benchmarks:
+            out.append(
+                ExperimentCell.make(
+                    "tradeoff", benchmark, technique="ranked", set_size=set_size
+                )
+            )
     return out
 
 
@@ -136,6 +202,10 @@ def run_cell(ctx: ExperimentContext, benchmark: str, params: Dict[str, Any]) -> 
         return _smarts_run(ctx, benchmark, params["period"], params["warming"])
     if technique == "pgss":
         return _pgss_run(ctx, benchmark, params["spread"])
+    if technique == "stratified":
+        return _stratified_run(ctx, benchmark, params["samples"])
+    if technique == "ranked":
+        return _ranked_run(ctx, benchmark, params["set_size"])
     raise OrchestrationError(f"unknown tradeoff cell technique {technique!r}")
 
 
@@ -155,6 +225,18 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
     for spread in _pgss_spreads(ctx):
         pgss_curve.append({"spread": spread, **_pgss_point(ctx, spread)})
 
+    stratified_curve: List[Dict[str, float]] = []
+    for samples in _stratified_budgets(ctx):
+        stratified_curve.append(
+            {"samples": samples, **_stratified_point(ctx, samples)}
+        )
+
+    ranked_curve: List[Dict[str, float]] = []
+    for set_size in RANKED_SET_SIZES:
+        ranked_curve.append(
+            {"set_size": set_size, **_ranked_point(ctx, set_size)}
+        )
+
     # Warming ablation headline: cold-vs-warm error gap at the canonical
     # period.
     warm_base = smarts_curve[1]
@@ -163,6 +245,8 @@ def run(ctx: ExperimentContext) -> Dict[str, Any]:
         "smarts": smarts_curve,
         "smarts_cold": cold_curve,
         "pgss": pgss_curve,
+        "stratified": stratified_curve,
+        "ranked": ranked_curve,
         "warming_gap": cold_base["a_mean_error"] - warm_base["a_mean_error"],
     }
 
@@ -193,6 +277,24 @@ def format_result(result: Dict[str, Any]) -> str:
             [
                 "PGSS",
                 f"spread {fmt_ops(entry['spread'])}",
+                fmt_ops(entry["mean_detailed_ops"]),
+                fmt_pct(entry["a_mean_error"]),
+            ]
+        )
+    for entry in result.get("stratified", []):
+        rows.append(
+            [
+                "Stratified",
+                f"budget {entry['samples']}",
+                fmt_ops(entry["mean_detailed_ops"]),
+                fmt_pct(entry["a_mean_error"]),
+            ]
+        )
+    for entry in result.get("ranked", []):
+        rows.append(
+            [
+                "RankedSet",
+                f"set {entry['set_size']}",
                 fmt_ops(entry["mean_detailed_ops"]),
                 fmt_pct(entry["a_mean_error"]),
             ]

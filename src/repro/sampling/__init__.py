@@ -11,7 +11,13 @@ reference, behind one interface:
   interval per cluster (Sherwood et al., ASPLOS'02; SimPoint 3.0 tooling);
 * :class:`OnlineSimPoint` — online phase tracking with one large sample
   per phase and a perfect phase predictor (Pereira et al., CODES+ISSS'05);
-* :class:`Pgss` — the paper's Phase-Guided Small-Sample Simulation.
+* :class:`Pgss` — the paper's Phase-Guided Small-Sample Simulation;
+* :class:`TwoPhaseStratified` — stage-1 phase profile, stage-2
+  Neyman-allocated detailed budget (Ekman & Stenström-style two-phase
+  stratified sampling);
+* :class:`RankedSetSampling` — rank each cycle of intervals by a cheap
+  functional-warming cost proxy, measure one rank per cycle (McIntyre's
+  ranked-set estimator).
 
 Each returns a :class:`SamplingResult` carrying the IPC estimate and the
 detailed-op cost, the two axes of the paper's Figure 12.
@@ -33,6 +39,7 @@ from .session import (
     SegmentRole,
     SessionDriver,
     SessionSample,
+    interval_sample_plan,
     periodic_plan,
     run_to_end_plan,
 )
@@ -42,6 +49,8 @@ from .turbosmarts import TurboSmarts, TurboSmartsConfig
 from .simpoint import SimPoint, SimPointConfig
 from .online_simpoint import OnlineSimPoint, OnlineSimPointConfig
 from .pgss import Pgss, PgssConfig, PgssController
+from .stratified import TwoPhaseStratified, TwoPhaseStratifiedConfig
+from .ranked import RankedSetSampling, RankedSetConfig
 
 __all__ = [
     "SamplingResult",
@@ -54,6 +63,7 @@ __all__ = [
     "SegmentRole",
     "SessionDriver",
     "SessionSample",
+    "interval_sample_plan",
     "periodic_plan",
     "run_to_end_plan",
     "FullDetail",
@@ -71,4 +81,8 @@ __all__ = [
     "Pgss",
     "PgssConfig",
     "PgssController",
+    "TwoPhaseStratified",
+    "TwoPhaseStratifiedConfig",
+    "RankedSetSampling",
+    "RankedSetConfig",
 ]

@@ -34,7 +34,7 @@ the batched fast-forward dispatch stay uniform across the zoo.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional, Union
+from typing import Any, Generator, List, Optional, Sequence, Union
 
 from ..cpu.engine import Mode, ModeRun, SimulationEngine
 from ..events import (
@@ -66,6 +66,7 @@ __all__ = [
     "SessionEvent",
     "SessionSample",
     "ThresholdSelected",
+    "interval_sample_plan",
     "periodic_plan",
     "run_to_end_plan",
 ]
@@ -301,6 +302,83 @@ def periodic_plan(
         )
         if out.exhausted:
             return
+
+
+#: Golden-ratio fraction driving the deterministic stagger sequence.
+_STAGGER_STRIDE = 0.6180339887498949
+
+
+def interval_sample_plan(
+    targets: Sequence[int],
+    interval_ops: int,
+    warmup_ops: int,
+    detail_ops: int,
+    stagger: bool = True,
+) -> SegmentPlan:
+    """Measure one detailed sample inside each target interval.
+
+    The program is viewed as consecutive ``interval_ops``-long intervals.
+    The plan fast-forwards (with functional warming) to each target
+    interval in ascending index order, takes a ``warmup_ops`` +
+    ``detail_ops`` detailed sample inside it, drains the interval's
+    remainder functionally warm, and stops when the program ends.
+    Callers recover which interval a sample belongs to as
+    ``sample.op_offset // interval_ops``: technique configs using this
+    plan validate ``warmup_ops + detail_ops < interval_ops``, so the
+    sample never starts past its interval's boundary.
+
+    With ``stagger`` (the default) the sample's position inside its
+    interval walks a deterministic golden-ratio sequence over the
+    interval's slack instead of always sitting at the interval start.
+    A fixed in-interval position aliases against intra-interval
+    micro-structure — one position can systematically over- or
+    under-state the interval mean — and a handful of interval samples
+    (unlike SMARTS' dozens) never averages that bias away.  The sequence
+    is seed-free, so runs stay reproducible.
+
+    This is the shared measurement pass of the interval-selection
+    techniques (SimPoint-style representatives, two-phase stratified
+    stage 2, ranked-set selection).
+    """
+    interval = 0
+    slack = interval_ops - warmup_ops - detail_ops
+    for count, target in enumerate(sorted(set(targets))):
+        while interval < target:
+            out = yield ModeSegment(
+                Mode.FUNC_WARM, interval_ops, role=SegmentRole.FAST_FORWARD
+            )
+            interval += 1
+            if out.exhausted:
+                return
+        offset = 0
+        if stagger and slack > 0:
+            position = ((count + 1) * _STAGGER_STRIDE) % 1.0
+            offset = int(slack * position)
+        if offset:
+            out = yield ModeSegment(
+                Mode.FUNC_WARM, offset, role=SegmentRole.FAST_FORWARD
+            )
+            if out.exhausted:
+                return
+        if warmup_ops:
+            out = yield ModeSegment(
+                Mode.DETAIL_WARM, warmup_ops, role=SegmentRole.WARMUP
+            )
+            if out.exhausted:
+                return
+        out = yield ModeSegment(
+            Mode.DETAIL, detail_ops, role=SegmentRole.SAMPLE, measure=True
+        )
+        if out.exhausted:
+            return
+        remainder = slack - offset
+        interval += 1
+        if remainder > 0:
+            out = yield ModeSegment(
+                Mode.FUNC_WARM, remainder, role=SegmentRole.FAST_FORWARD
+            )
+            if out.exhausted:
+                return
 
 
 def run_to_end_plan(

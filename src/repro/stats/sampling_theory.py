@@ -14,23 +14,34 @@ These helpers quantify that on any labelled sample population:
   estimator sees;
 * :func:`stratification_gain` — the ratio of samples needed without vs
   with stratification at equal confidence (variance ratio under
-  proportional allocation — Neyman allocation would do even better).
+  proportional allocation — Neyman allocation would do even better);
+* :func:`pool_singleton_strata` — merge one-member strata into their
+  nearest neighbour so per-stratum variances are always defined;
+* :func:`neyman_allocation` — the optimal (size x std proportional)
+  split of a detailed-sample budget across strata, the stage-2 rule of
+  two-phase stratified sampling (Ekman & Stenström);
+* :func:`stratified_mean_ci` — a confidence interval for the stratified
+  point estimate from per-stratum sample scatter.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import math
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from ..errors import SamplingError
-from .ci import required_samples
+from ..errors import EstimateError, SamplingError
+from .ci import ConfidenceInterval, required_samples, t_value
 
 __all__ = [
     "population_variance",
     "within_stratum_variance",
     "stratification_gain",
     "required_samples_comparison",
+    "pool_singleton_strata",
+    "neyman_allocation",
+    "stratified_mean_ci",
 ]
 
 
@@ -51,16 +62,72 @@ def population_variance(values: Sequence[float]) -> float:
     return float(arr.var(ddof=0))
 
 
+def pool_singleton_strata(
+    values: Sequence[float], labels: Sequence[int]
+) -> List[int]:
+    """Relabel so that every stratum has at least two members.
+
+    A one-member stratum has an undefined sample variance, which used to
+    degenerate :func:`within_stratum_variance` to contributions of zero
+    (and :func:`stratification_gain` to ``inf`` whenever *every* stratum
+    was a singleton).  Each singleton is merged into the stratum whose
+    member mean is nearest (ties to the smaller label), repeatedly and
+    deterministically, until none remain.
+
+    Returns the pooled label list (same length as *values*).
+
+    Raises:
+        EstimateError: for a population of one — there is nothing to
+            pool a lone singleton stratum with.
+    """
+    arr = _check(values, labels)
+    if arr.size == 1:
+        raise EstimateError(
+            "cannot pool singleton strata in a population of one value; "
+            "a stratified variance estimate needs at least two members"
+        )
+    pooled = list(labels)
+    while True:
+        members: Dict[int, List[int]] = {}
+        for index, label in enumerate(pooled):
+            members.setdefault(label, []).append(index)
+        singletons = sorted(
+            label for label, idx in members.items() if len(idx) == 1
+        )
+        if not singletons or len(members) < 2:
+            break
+        label = singletons[0]
+        mean = float(arr[members[label][0]])
+        target = min(
+            (other for other in members if other != label),
+            key=lambda other: (
+                abs(float(arr[members[other]].mean()) - mean),
+                other,
+            ),
+        )
+        for index in members[label]:
+            pooled[index] = target
+    return pooled
+
+
 def within_stratum_variance(
     values: Sequence[float], labels: Sequence[int]
 ) -> float:
     """Pooled within-stratum variance under proportional allocation.
 
     ``sum_h (n_h / n) * var_h`` — the variance a stratified estimator's
-    sampling error is driven by.  Strata with one member contribute zero.
+    sampling error is driven by.  One-member strata are first pooled
+    into their nearest neighbour (:func:`pool_singleton_strata`): a
+    singleton's zero population variance is an artefact of the sample
+    size, not evidence the stratum is noiseless, and letting it stand
+    made the all-singletons labelling look like a perfect stratification.
     """
     arr = _check(values, labels)
     label_arr = np.asarray(labels)
+    if arr.size > 1:
+        _, counts = np.unique(label_arr, return_counts=True)
+        if counts.min() < 2:
+            label_arr = np.asarray(pool_singleton_strata(values, labels))
     total = 0.0
     for stratum in np.unique(label_arr):
         members = arr[label_arr == stratum]
@@ -75,13 +142,139 @@ def stratification_gain(
 
     The required sample count scales with variance at fixed confidence and
     error, so the gain is ``population_variance / within_stratum_variance``.
-    Returns ``inf`` when the strata are internally constant.
+    Returns ``inf`` when the (singleton-pooled) strata are internally
+    constant; an all-singletons labelling no longer qualifies, because
+    :func:`within_stratum_variance` pools singletons before measuring.
     """
     pop = population_variance(values)
     within = within_stratum_variance(values, labels)
     if within == 0.0:
         return float("inf")
     return pop / within
+
+
+def neyman_allocation(
+    strata_sizes: Sequence[int],
+    strata_stds: Sequence[float],
+    budget: int,
+) -> List[int]:
+    """Split a detailed-sample budget across strata à la Neyman.
+
+    The optimal allocation under a fixed total sample count puts
+    ``n_h proportional to N_h * S_h`` (stratum size times stratum standard
+    deviation).  This integer version guarantees:
+
+    * allocations sum *exactly* to ``budget`` (largest-remainder
+      rounding, ties to the lower stratum index);
+    * every nonempty stratum receives at least one sample, so no
+      stratum's contribution to the estimate is pure extrapolation;
+    * all-zero (or degenerate) deviation estimates — the singleton-pilot
+      case — fall back to proportional allocation instead of dividing
+      the budget by zero.
+
+    Empty strata (size 0) receive 0.  Allocations are not capped at the
+    stratum size; callers sampling without replacement cap and
+    redistribute against their own availability.
+
+    Raises:
+        SamplingError: on mismatched lengths, negative sizes/stds,
+            no nonempty strata, or a budget smaller than the number of
+            nonempty strata.
+    """
+    if len(strata_sizes) != len(strata_stds):
+        raise SamplingError("strata_sizes and strata_stds must match in length")
+    if any(size < 0 for size in strata_sizes):
+        raise SamplingError("strata sizes must be non-negative")
+    if any(std < 0 or not math.isfinite(std) for std in strata_stds):
+        raise SamplingError("strata stds must be finite and non-negative")
+    nonempty = [i for i, size in enumerate(strata_sizes) if size > 0]
+    if not nonempty:
+        raise SamplingError("at least one stratum must be nonempty")
+    if budget < len(nonempty):
+        raise SamplingError(
+            f"budget {budget} cannot give each of the {len(nonempty)} "
+            "nonempty strata its minimum of one sample"
+        )
+    weights = [strata_sizes[i] * strata_stds[i] for i in nonempty]
+    if sum(weights) == 0.0:
+        # Pilot stds of zero carry no signal; fall back to proportional.
+        weights = [float(strata_sizes[i]) for i in nonempty]
+    total_weight = sum(weights)
+
+    allocation = [0] * len(strata_sizes)
+    quotas = [budget * w / total_weight for w in weights]
+    floors = [int(math.floor(q)) for q in quotas]
+    for pos, index in enumerate(nonempty):
+        allocation[index] = floors[pos]
+    leftover = budget - sum(floors)
+    by_remainder = sorted(
+        range(len(nonempty)),
+        key=lambda pos: (-(quotas[pos] - floors[pos]), nonempty[pos]),
+    )
+    for pos in by_remainder[:leftover]:
+        allocation[nonempty[pos]] += 1
+    # Give zero-weight/rounded-out strata their minimum of one, funded by
+    # the largest allocations (ties to the higher stratum index).
+    for index in nonempty:
+        if allocation[index] == 0:
+            donor = max(
+                (i for i in nonempty if allocation[i] > 1),
+                key=lambda i: (allocation[i], i),
+            )
+            allocation[donor] -= 1
+            allocation[index] = 1
+    return allocation
+
+
+def stratified_mean_ci(
+    ops_per_stratum: Mapping[int, int],
+    samples_per_stratum: Mapping[int, Sequence[float]],
+    confidence: float = 0.997,
+) -> ConfidenceInterval:
+    """Confidence interval for a stratified (ops-weighted) mean estimate.
+
+    The estimator variance is ``sum_h W_h^2 * s_h^2 / n_h`` over the
+    covered strata (weights renormalised to the covered ops).  Strata
+    with a single sample have no variance estimate of their own; they
+    borrow the pooled (dof-weighted) variance of the multi-sample strata
+    rather than claiming zero — the singleton-stratum guard.  When *no*
+    stratum has two samples the half width is ``inf`` (honest: the
+    scatter is unobserved), never NaN.
+
+    Raises:
+        SamplingError: when no stratum has any samples or total ops is 0.
+    """
+    covered = {
+        key: np.asarray(samples_per_stratum[key], dtype=np.float64)
+        for key in samples_per_stratum
+        if len(samples_per_stratum[key]) > 0 and ops_per_stratum.get(key, 0) > 0
+    }
+    if not covered:
+        raise SamplingError("no stratum has any samples")
+    covered_ops = sum(ops_per_stratum[key] for key in covered)
+    if covered_ops <= 0:
+        raise SamplingError("total ops across covered strata must be positive")
+    weights = {key: ops_per_stratum[key] / covered_ops for key in covered}
+    point = sum(weights[key] * float(covered[key].mean()) for key in covered)
+
+    dof = sum(arr.size - 1 for arr in covered.values() if arr.size > 1)
+    n_total = sum(arr.size for arr in covered.values())
+    if dof < 1:
+        return ConfidenceInterval(point, math.inf, confidence, n_total)
+    pooled_var = (
+        sum(
+            (arr.size - 1) * float(arr.var(ddof=1))
+            for arr in covered.values()
+            if arr.size > 1
+        )
+        / dof
+    )
+    variance = 0.0
+    for key, arr in covered.items():
+        s2 = float(arr.var(ddof=1)) if arr.size > 1 else pooled_var
+        variance += weights[key] ** 2 * s2 / arr.size
+    half = t_value(confidence, dof) * math.sqrt(variance)
+    return ConfidenceInterval(point, half, confidence, n_total)
 
 
 def required_samples_comparison(

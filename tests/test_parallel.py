@@ -314,6 +314,57 @@ class TestParallelRunner:
         assert "ETA" in lines[0]
 
 
+class TestWorkerAlarmHygiene:
+    def test_execute_cell_restores_sigalrm_handler(self, tmp_path):
+        """Regression: _execute_cell leaked _on_alarm into the host when
+        run in-process, turning any later host alarm into a _CellTimeout."""
+        import signal
+
+        from repro.experiments.parallel import _context_spec, _execute_cell
+
+        def sentinel(signum, frame):  # pragma: no cover - never fired
+            raise AssertionError("sentinel alarm fired")
+
+        previous = signal.signal(signal.SIGALRM, sentinel)
+        try:
+            record = _execute_cell(
+                _context_spec(_make_ctx(tmp_path)),
+                trace_cell("164.gzip"),
+                5.0,
+                _noop_runner,
+            )
+            assert record["status"] == "ok"
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+            assert signal.alarm(0) == 0  # no alarm left pending
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_execute_cell_restores_handler_on_error(self, tmp_path):
+        import signal
+
+        from repro.experiments.parallel import _context_spec, _execute_cell
+
+        def sentinel(signum, frame):  # pragma: no cover - never fired
+            raise AssertionError("sentinel alarm fired")
+
+        def failing_runner(ctx, cell):
+            raise SamplingError("boom")
+
+        previous = signal.signal(signal.SIGALRM, sentinel)
+        try:
+            record = _execute_cell(
+                _context_spec(_make_ctx(tmp_path)),
+                trace_cell("164.gzip"),
+                5.0,
+                failing_runner,
+            )
+            assert record["status"] == "error"
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+            assert signal.alarm(0) == 0
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+
 class TestParallelEquality:
     def test_jobs1_and_jobs2_results_byte_identical(self, tmp_path):
         """The acceptance property: any job count, identical figure bytes."""

@@ -1,0 +1,253 @@
+"""Tests for two-phase stratified and ranked-set sampling."""
+
+import math
+
+import pytest
+
+from repro import Scale
+from repro.config import SampleBudget
+from repro.errors import ConfigurationError, SamplingError
+from repro.sampling import (
+    FullDetail,
+    RankedSetConfig,
+    RankedSetSampling,
+    TwoPhaseStratified,
+    TwoPhaseStratifiedConfig,
+)
+from repro.sampling.session import SamplingSession, interval_sample_plan
+from repro.cpu import Mode, SimulationEngine
+
+from conftest import make_two_phase_program
+
+#: make_two_phase_program's total dynamic length (4 x 40k segments).
+PROGRAM_OPS = 160_000
+
+
+@pytest.fixture(scope="module")
+def program():
+    return make_two_phase_program()
+
+
+@pytest.fixture(scope="module")
+def true_ipc():
+    return FullDetail().run(make_two_phase_program()).ipc_estimate
+
+
+class TestIntervalSamplePlan:
+    def _run(self, targets, stagger):
+        engine = SimulationEngine(make_two_phase_program())
+        session = SamplingSession(engine)
+        session.execute(
+            interval_sample_plan(targets, 8_000, 500, 500, stagger=stagger)
+        )
+        return session.samples
+
+    def test_samples_land_in_their_intervals(self):
+        targets = [1, 4, 9, 15]
+        samples = self._run(targets, stagger=True)
+        assert [s.op_offset // 8_000 for s in samples] == targets
+
+    def test_unstaggered_samples_sit_at_interval_starts(self):
+        # Segments overshoot by up to a block, so positions sit just
+        # past the 500-op warmup rather than exactly at it.
+        samples = self._run([2, 5], stagger=False)
+        assert all(500 <= s.op_offset % 8_000 < 1_000 for s in samples)
+
+    def test_stagger_varies_in_interval_position(self):
+        samples = self._run([1, 4, 9, 15], stagger=True)
+        positions = {s.op_offset % 8_000 for s in samples}
+        assert len(positions) > 1
+
+    def test_duplicate_and_unsorted_targets_are_normalised(self):
+        assert [
+            s.op_offset // 8_000 for s in self._run([9, 1, 9, 4], stagger=False)
+        ] == [1, 4, 9]
+
+
+class TestStratifiedConfig:
+    def test_from_scale_reads_budget(self):
+        cfg = TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        budget = Scale.QUICK.sample_budget
+        assert cfg.total_samples == budget.stage2_samples
+        assert cfg.pilot_per_stratum == budget.pilot_per_stratum
+        assert cfg.detail_ops == budget.detail_ops
+        assert cfg.interval_ops == Scale.QUICK.pgss_best_period
+
+    def test_from_scale_overrides(self):
+        cfg = TwoPhaseStratifiedConfig.from_scale(Scale.QUICK, total_samples=7)
+        assert cfg.total_samples == 7
+
+    def test_label(self):
+        assert TwoPhaseStratifiedConfig(8_000, 16).label == "8kx2p16"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoPhaseStratifiedConfig(1_000, 16, detail_ops=600, warmup_ops=600)
+        with pytest.raises(ConfigurationError):
+            TwoPhaseStratifiedConfig(8_000, 0)
+        with pytest.raises(ConfigurationError):
+            TwoPhaseStratifiedConfig(8_000, 16, pilot_per_stratum=0)
+        with pytest.raises(ConfigurationError):
+            TwoPhaseStratifiedConfig(8_000, 16, threshold_pi=0.0)
+
+
+class TestStratified:
+    def test_finds_the_two_phases(self, program):
+        result = TwoPhaseStratified(
+            TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        assert result.extras["n_strata"] == 2
+
+    def test_accuracy(self, program, true_ipc):
+        result = TwoPhaseStratified(
+            TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        assert result.percent_error(true_ipc) < 15.0
+
+    def test_ci_brackets_estimate(self, program):
+        result = TwoPhaseStratified(
+            TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        assert result.ci is not None
+        assert result.ci.mean == pytest.approx(result.ipc_estimate, rel=0.10)
+        assert math.isfinite(result.ci.half_width)
+
+    def test_uses_less_detail_than_program(self, program):
+        result = TwoPhaseStratified(
+            TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        assert result.detailed_ops < PROGRAM_OPS / 3
+
+    def test_deterministic(self, program):
+        cfg = TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        a = TwoPhaseStratified(cfg).run(make_two_phase_program())
+        b = TwoPhaseStratified(cfg).run(make_two_phase_program())
+        assert a.ipc_estimate == b.ipc_estimate
+        assert a.extras == b.extras
+
+    def test_allocation_covers_every_stratum(self, program):
+        result = TwoPhaseStratified(
+            TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        assert all(
+            n >= 1 for n in result.extras["samples_per_stratum"].values()
+        )
+
+    def test_accounting_spans_three_passes(self, program):
+        result = TwoPhaseStratified(
+            TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        # Stage 1 profiles in FUNC_FAST; measurement passes fast-forward
+        # in FUNC_WARM; samples run DETAIL_WARM + DETAIL.
+        assert result.accounting.ops[Mode.FUNC_FAST] > 0
+        assert result.accounting.ops[Mode.FUNC_WARM] > 0
+        assert result.accounting.detailed_ops == result.detailed_ops
+
+    def test_extras_report_structure(self, program):
+        result = TwoPhaseStratified(
+            TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        cfg = TwoPhaseStratifiedConfig.from_scale(Scale.QUICK)
+        assert result.extras["config"] == cfg.label
+        assert result.extras["n_intervals"] == PROGRAM_OPS // cfg.interval_ops
+        assert sum(result.extras["stratum_sizes"].values()) == result.extras[
+            "n_intervals"
+        ]
+
+
+class TestRankedSetConfig:
+    def test_from_scale_reads_budget(self):
+        cfg = RankedSetConfig.from_scale(Scale.QUICK)
+        budget = Scale.QUICK.sample_budget
+        assert cfg.detail_ops == budget.detail_ops
+        assert cfg.warmup_ops == budget.warmup_ops
+        assert cfg.interval_ops == Scale.QUICK.pgss_best_period
+
+    def test_label(self):
+        assert RankedSetConfig(8_000).label == "8kx3r4"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RankedSetConfig(900, detail_ops=500, warmup_ops=500)
+        with pytest.raises(ConfigurationError):
+            RankedSetConfig(8_000, set_size=1)
+        with pytest.raises(ConfigurationError):
+            RankedSetConfig(8_000, n_subsamples=1)
+
+
+class TestRankedSet:
+    def test_every_rank_visited(self, program):
+        result = RankedSetSampling(
+            RankedSetConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        counts = result.extras["rank_counts"]
+        assert set(counts) == {0, 1, 2}
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_one_sample_per_cycle(self, program):
+        result = RankedSetSampling(
+            RankedSetConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        assert result.n_samples == result.extras["n_cycles"]
+
+    def test_accuracy(self, program, true_ipc):
+        result = RankedSetSampling(
+            RankedSetConfig.from_scale(Scale.QUICK, set_size=2)
+        ).run(program)
+        assert result.percent_error(true_ipc) < 25.0
+
+    def test_cheapest_of_the_family(self, program):
+        cfg = RankedSetConfig.from_scale(Scale.QUICK)
+        result = RankedSetSampling(cfg).run(program)
+        per_sample = cfg.detail_ops + cfg.warmup_ops
+        assert result.detailed_ops <= result.n_samples * per_sample + per_sample
+
+    def test_deterministic(self, program):
+        cfg = RankedSetConfig.from_scale(Scale.QUICK)
+        a = RankedSetSampling(cfg).run(make_two_phase_program())
+        b = RankedSetSampling(cfg).run(make_two_phase_program())
+        assert a.ipc_estimate == b.ipc_estimate
+        assert a.extras == b.extras
+
+    def test_program_shorter_than_one_cycle_raises(self):
+        cfg = RankedSetConfig.from_scale(Scale.QUICK, interval_ops=200_000)
+        with pytest.raises(SamplingError):
+            RankedSetSampling(cfg).run(make_two_phase_program())
+
+    def test_ci_centred_on_estimate(self, program):
+        result = RankedSetSampling(
+            RankedSetConfig.from_scale(Scale.QUICK)
+        ).run(program)
+        assert result.ci is not None
+        assert result.ci.mean == result.ipc_estimate
+
+
+class TestBudgetKnobs:
+    def test_sample_budget_carries_two_phase_knobs(self):
+        budget = Scale.SCALED.sample_budget
+        assert budget.pilot_per_stratum == 2
+        assert budget.stage2_samples == 40
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            SampleBudget(1_000, 2_000, 0.03, 0.997, pilot_per_stratum=0)
+        with pytest.raises(ConfigurationError):
+            SampleBudget(1_000, 2_000, 0.03, 0.997, stage2_samples=0)
+
+
+class TestFigureIntegration:
+    def test_fig12_includes_new_techniques(self, tmp_path):
+        from repro.experiments import fig12_technique_comparison as fig12
+        from repro.experiments.runner import ExperimentContext
+
+        ctx = ExperimentContext(
+            Scale.QUICK, cache_dir=tmp_path, benchmarks=["164.gzip"]
+        )
+        result = fig12.run(ctx)
+        for family in ("FullDetail", "Stratified", "RankedSet"):
+            assert family in result
+            assert "164.gzip" in result[family]["errors"]
+        assert result["FullDetail"]["errors"]["164.gzip"] == pytest.approx(0.0)
+        formatted = fig12.format_result(result)
+        assert "Stratified" in formatted
+        assert "RankedSet" in formatted

@@ -5,11 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import SamplingError
+from repro.errors import EstimateError, SamplingError
 from repro.stats.sampling_theory import (
+    neyman_allocation,
+    pool_singleton_strata,
     population_variance,
     required_samples_comparison,
     stratification_gain,
+    stratified_mean_ci,
     within_stratum_variance,
 )
 
@@ -79,6 +82,132 @@ class TestGain:
         pop = population_variance(values)
         within = within_stratum_variance(values, labels)
         assert within <= pop + 1e-9
+
+
+class TestPoolSingletonStrata:
+    def test_no_singletons_is_identity(self):
+        labels = [0, 0, 1, 1]
+        assert pool_singleton_strata([1.0, 1.1, 3.0, 3.1], labels) == labels
+
+    def test_singleton_merges_into_nearest_mean(self):
+        # Value 2.9 (label 2) is nearest stratum 1's mean of 3.05.
+        pooled = pool_singleton_strata(
+            [1.0, 1.1, 3.0, 3.1, 2.9], [0, 0, 1, 1, 2]
+        )
+        assert pooled == [0, 0, 1, 1, 1]
+
+    def test_all_singletons_pool_to_multi_member_strata(self):
+        pooled = pool_singleton_strata([1.0, 2.0, 3.0, 4.0], [0, 1, 2, 3])
+        counts = {label: pooled.count(label) for label in set(pooled)}
+        assert all(count >= 2 for count in counts.values())
+
+    def test_population_of_one_raises(self):
+        with pytest.raises(EstimateError):
+            pool_singleton_strata([1.0], [0])
+
+    def test_all_singletons_gain_no_longer_infinite(self):
+        # Pre-fix, labelling every value uniquely faked a perfect
+        # stratification (within-variance 0, gain inf).
+        gain = stratification_gain([1.0, 2.0, 3.0, 4.0], [0, 1, 2, 3])
+        assert np.isfinite(gain)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=2, max_size=40),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pooled_labels_never_leave_singletons(self, values, n_strata):
+        labels = [i % n_strata for i in range(len(values))]
+        pooled = pool_singleton_strata(values, labels)
+        counts = {label: pooled.count(label) for label in set(pooled)}
+        assert len(pooled) == len(values)
+        assert all(count >= 2 for count in counts.values())
+
+
+class TestNeymanAllocation:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=12),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sums_to_budget_with_stratum_minimum(self, sizes, data):
+        if not any(sizes):
+            sizes = sizes + [1]
+        stds = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0),
+                min_size=len(sizes),
+                max_size=len(sizes),
+            )
+        )
+        nonempty = sum(1 for s in sizes if s > 0)
+        budget = data.draw(st.integers(min_value=nonempty, max_value=nonempty + 200))
+        alloc = neyman_allocation(sizes, stds, budget)
+        assert sum(alloc) == budget
+        for size, n in zip(sizes, alloc):
+            if size > 0:
+                assert n >= 1
+            else:
+                assert n == 0
+
+    def test_equal_stds_proportional(self):
+        alloc = neyman_allocation([100, 200, 300], [1.0, 1.0, 1.0], 60)
+        assert alloc == [10, 20, 30]
+
+    def test_zero_stds_fall_back_to_proportional(self):
+        # Singleton pilots produce std 0.0 everywhere; the budget must
+        # still be divided (by size), never by zero.
+        alloc = neyman_allocation([100, 300], [0.0, 0.0], 8)
+        assert alloc == [2, 6]
+        assert all(np.isfinite(alloc))
+
+    def test_high_variance_stratum_dominates(self):
+        alloc = neyman_allocation([100, 100], [0.1, 10.0], 20)
+        assert alloc[1] > alloc[0]
+        assert alloc[0] >= 1
+
+    def test_budget_below_strata_count_rejected(self):
+        with pytest.raises(SamplingError):
+            neyman_allocation([10, 10, 10], [1.0, 1.0, 1.0], 2)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            neyman_allocation([10], [1.0, 2.0], 5)
+        with pytest.raises(SamplingError):
+            neyman_allocation([-1], [1.0], 5)
+        with pytest.raises(SamplingError):
+            neyman_allocation([10], [float("nan")], 5)
+        with pytest.raises(SamplingError):
+            neyman_allocation([0, 0], [1.0, 1.0], 5)
+
+
+class TestStratifiedMeanCi:
+    def test_point_estimate_is_ops_weighted(self):
+        ci = stratified_mean_ci(
+            {0: 300, 1: 100}, {0: [1.0, 1.0], 1: [2.0, 2.0]}
+        )
+        assert ci.mean == pytest.approx(0.75 * 1.0 + 0.25 * 2.0)
+
+    def test_singleton_stratum_borrows_pooled_variance(self):
+        ci = stratified_mean_ci(
+            {0: 100, 1: 100}, {0: [1.0, 1.2, 0.8], 1: [2.0]}
+        )
+        assert np.isfinite(ci.half_width)
+        assert ci.half_width > 0.0
+        assert ci.n == 4
+
+    def test_all_singletons_infinite_half_width(self):
+        ci = stratified_mean_ci({0: 100, 1: 100}, {0: [1.0], 1: [2.0]})
+        assert ci.half_width == float("inf")
+        assert not np.isnan(ci.mean)
+
+    def test_uncovered_strata_ignored(self):
+        ci = stratified_mean_ci({0: 100, 1: 900}, {0: [1.0, 1.1], 1: []})
+        assert ci.mean == pytest.approx(1.05)
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(SamplingError):
+            stratified_mean_ci({0: 100}, {0: []})
 
 
 class TestRequiredSamplesComparison:
