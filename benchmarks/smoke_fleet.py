@@ -1,0 +1,185 @@
+"""Fleet smoke: queue + worker processes vs serial, and kill/resume.
+
+Exercises the job-service CLI end to end, the way a real fleet does —
+every step is a ``pgss-sim`` subprocess, nothing is called in-process:
+
+1. Serial baseline: ``run-all --jobs 1 --figures 2,12`` into a private
+   cache, report written to a file.
+2. Fleet run: ``jobs submit`` on a fresh queue + cache, two concurrent
+   ``worker --drain`` processes, then ``jobs fetch``.  The fetched
+   report must be byte-identical to the serial baseline.
+3. Kill/resume: submit the same figures again, SIGKILL the first worker
+   while it holds a claim, verify the job is not done, then let a second
+   worker reap the dead lease and drain.  The fetched report must again
+   be byte-identical to the serial baseline.
+
+Run it directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/smoke_fleet.py
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+FIGURES = "2,12"
+SCALE = "quick"
+#: Give slow CI hosts room; quick scale finishes in well under this.
+STEP_TIMEOUT_S = 600
+
+
+def _cli(env, *args, **kwargs):
+    """Run one pgss-sim command as a subprocess and return it."""
+    cmd = [sys.executable, "-m", "repro.cli", "--scale", SCALE, *args]
+    kwargs.setdefault("timeout", STEP_TIMEOUT_S)
+    return subprocess.run(
+        cmd, env=env, capture_output=True, text=True, **kwargs
+    )
+
+
+def _check(proc, step):
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"smoke_fleet: {step} exited {proc.returncode}")
+    return proc
+
+
+def _env(cache_dir):
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def _spawn_worker(env, queue, *extra):
+    cmd = [
+        sys.executable, "-m", "repro.cli", "--scale", SCALE,
+        "worker", "--queue", str(queue), "--drain", "--quiet", *extra,
+    ]
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+def _wait_for_claim(queue, worker, deadline_s=STEP_TIMEOUT_S):
+    """Block until some worker holds a task lease in *queue*."""
+    claims = Path(queue) / "claims"
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if claims.is_dir() and any(claims.glob("*.json")):
+            return
+        if worker.poll() is not None:
+            raise SystemExit(
+                "smoke_fleet: worker exited before a claim was observed"
+            )
+        time.sleep(0.02)
+    raise SystemExit("smoke_fleet: no worker claimed a task in time")
+
+
+def serial_baseline(tmp, report):
+    proc = _cli(
+        _env(tmp / "cache-serial"),
+        "run-all", "--jobs", "1", "--figures", FIGURES,
+        "--quiet", "-o", str(report),
+    )
+    _check(proc, "serial run-all")
+
+
+def fleet_run(tmp, report):
+    env = _env(tmp / "cache-fleet")
+    queue = tmp / "queue-fleet"
+    submit = _check(
+        _cli(env, "jobs", "submit", "--queue", str(queue),
+             "--figures", FIGURES),
+        "jobs submit",
+    )
+    job_id = submit.stdout.strip()
+    workers = [_spawn_worker(env, queue) for _ in range(2)]
+    for w in workers:
+        if w.wait(timeout=STEP_TIMEOUT_S) != 0:
+            raise SystemExit("smoke_fleet: fleet worker failed")
+    _check(
+        _cli(env, "jobs", "fetch", "--queue", str(queue), job_id,
+             "-o", str(report)),
+        "jobs fetch",
+    )
+    return job_id
+
+
+def kill_resume_run(tmp, report):
+    env = _env(tmp / "cache-resume")
+    queue = tmp / "queue-resume"
+    submit = _check(
+        _cli(env, "jobs", "submit", "--queue", str(queue),
+             "--figures", FIGURES),
+        "jobs submit (resume)",
+    )
+    job_id = submit.stdout.strip()
+
+    victim = _spawn_worker(env, queue, "--checkpoint-windows", "4")
+    _wait_for_claim(queue, victim)
+    time.sleep(0.3)  # let it get into the cell body
+    victim.send_signal(signal.SIGKILL)
+    victim.wait(timeout=30)
+
+    status = _check(
+        _cli(env, "jobs", "status", "--queue", str(queue), job_id),
+        "jobs status after kill",
+    )
+    if f"{job_id}  done" in status.stdout:
+        raise SystemExit(
+            "smoke_fleet: worker finished before it could be killed; "
+            "kill/resume not exercised"
+        )
+
+    successor = _spawn_worker(
+        env, queue, "--checkpoint-windows", "4", "--lease", "5",
+    )
+    if successor.wait(timeout=STEP_TIMEOUT_S) != 0:
+        raise SystemExit("smoke_fleet: successor worker failed")
+    _check(
+        _cli(env, "jobs", "fetch", "--queue", str(queue), job_id,
+             "-o", str(report)),
+        "jobs fetch (resume)",
+    )
+    return job_id
+
+
+def main():
+    tmp = Path(tempfile.mkdtemp(prefix="smoke-fleet-"))
+    try:
+        serial = tmp / "serial.txt"
+        fleet = tmp / "fleet.txt"
+        resumed = tmp / "resumed.txt"
+
+        serial_baseline(tmp, serial)
+        print(f"serial baseline: {serial.stat().st_size} bytes")
+
+        fleet_run(tmp, fleet)
+        if fleet.read_bytes() != serial.read_bytes():
+            raise SystemExit(
+                "smoke_fleet: 2-worker fleet report differs from serial"
+            )
+        print("fleet (2 workers): byte-identical to serial")
+
+        kill_resume_run(tmp, resumed)
+        if resumed.read_bytes() != serial.read_bytes():
+            raise SystemExit(
+                "smoke_fleet: resumed report differs from serial"
+            )
+        print("kill/resume: byte-identical to serial")
+        print("smoke_fleet: ok")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,17 +6,25 @@ Subcommands::
     pgss-sim simulate 164.gzip         # full-detail run of one benchmark
     pgss-sim sample 164.gzip -t pgss   # one sampling technique
     pgss-sim figure 12                 # regenerate one paper figure
-    pgss-sim run-all --jobs 4          # every figure, cells fanned out
+    pgss-sim jobs submit --queue DIR   # enqueue experiment cells
+    pgss-sim worker --queue DIR        # execute queued cells (fleet)
+    pgss-sim jobs fetch --queue DIR ID # assemble a finished job's report
+    pgss-sim run-all --jobs 4          # submit + wait + fetch in one step
     pgss-sim rates                     # per-mode simulation rates
     pgss-sim clear-cache               # drop cached experiment results
 
-All subcommands accept ``--scale {quick,scaled,paper}``.
+Every experiment-running command is a thin client of
+:class:`repro.fleet.ExperimentService`; ``run-all`` is the compat alias
+for ``jobs submit`` + wait + ``jobs fetch`` on the in-process backend
+(or on a shared queue with ``--queue``).  All subcommands accept
+``--scale {quick,scaled,paper}``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from .config import Scale, ScaleConfig
@@ -24,6 +32,7 @@ from .program import WORKLOAD_NAMES, get_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .events import EventBus
+    from .fleet import ExperimentService, JobState
 
 __all__ = ["main", "build_parser"]
 
@@ -111,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         "run-all",
         help="run every figure's experiment cells (optionally in "
         "parallel), then assemble the full report",
+        description="Compatibility alias for the job-service API: "
+        "equivalent to `jobs submit` + wait + `jobs fetch` on the "
+        "in-process backend, or — with --queue — on a shared queue "
+        "directory that `pgss-sim worker` processes execute. Results "
+        "are byte-identical either way.",
     )
     p_runall.add_argument(
         "-j",
@@ -132,12 +146,133 @@ def build_parser() -> argparse.ArgumentParser:
     p_runall.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    p_runall.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="submit to this shared queue directory and wait for fleet "
+        "workers to execute the cells (instead of running in-process)",
+    )
+
+    p_jobs = sub.add_parser(
+        "jobs", help="submit and manage fleet jobs on a shared queue"
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    p_submit = jobs_sub.add_parser(
+        "submit", help="enqueue the experiment cells of the selected figures"
+    )
+    p_submit.add_argument("--queue", required=True, metavar="DIR")
+    p_submit.add_argument(
+        "--figures",
+        default=None,
+        help="comma-separated figure ids (default: all)",
+    )
+    p_submit.add_argument(
+        "--priority",
+        type=int,
+        default=50,
+        help="0-99, higher is claimed earlier (default: 50)",
+    )
+    p_submit.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per cell after a failure or lost lease "
+        "(default: 1)",
+    )
+
+    p_status = jobs_sub.add_parser("status", help="show a job's progress")
+    p_status.add_argument("--queue", required=True, metavar="DIR")
+    p_status.add_argument(
+        "job", nargs="?", default=None, help="job id (default: every job)"
+    )
+
+    p_fetch = jobs_sub.add_parser(
+        "fetch", help="assemble a finished job's report from the cache"
+    )
+    p_fetch.add_argument("--queue", required=True, metavar="DIR")
+    p_fetch.add_argument("job")
+    p_fetch.add_argument(
+        "-o", "--output", default=None, help="write the report to a file"
+    )
+
+    p_cancel = jobs_sub.add_parser(
+        "cancel", help="cancel a job's still-pending cells"
+    )
+    p_cancel.add_argument("--queue", required=True, metavar="DIR")
+    p_cancel.add_argument("job")
+
+    p_worker = sub.add_parser(
+        "worker", help="claim and execute queued cells until stopped"
+    )
+    p_worker.add_argument("--queue", required=True, metavar="DIR")
+    p_worker.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit when the queue is empty instead of waiting for work",
+    )
+    p_worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=0,
+        help="stop after this many cells (default: unlimited)",
+    )
+    p_worker.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="S",
+        help="lease duration in seconds (default: 60; heartbeats refresh "
+        "at a third of this)",
+    )
+    p_worker.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        metavar="S",
+        help="idle sleep between queue scans (default: 0.5)",
+    )
+    p_worker.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-cell wall-clock budget (default: 600)",
+    )
+    p_worker.add_argument(
+        "--checkpoint-windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace windows between mid-cell checkpoints (default: 32)",
+    )
+    p_worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
 
     sub.add_parser("rates", help="measure per-mode simulation rates")
     sub.add_parser(
         "calibrate", help="per-workload IPC/variability calibration table"
     )
-    sub.add_parser("clear-cache", help="delete cached experiment results")
+    p_clear = sub.add_parser(
+        "clear-cache",
+        help="delete cached experiment results and sweep queue litter",
+    )
+    p_clear.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="also sweep this queue directory: reap expired leases, "
+        "requeue or fail their tasks, drop orphaned tmp files and "
+        "checkpoints",
+    )
+    p_clear.add_argument(
+        "--sweep",
+        action="store_true",
+        help="only remove crash litter (stale claims, tmp files); keep "
+        "cached results",
+    )
     return parser
 
 
@@ -304,15 +439,45 @@ def _cmd_sample(
     return 0
 
 
-def _cmd_figure(scale: ScaleConfig, number: str) -> int:
-    import importlib
+def _print_failures(state: "JobState") -> None:
+    for cell_id, error in sorted(state.failures.items()):
+        print(f"cell {cell_id} failed: {error}", file=sys.stderr)
+    failed = state.counts.get("failed", 0)
+    print(f"job {state.job_id}: {failed}/{state.total} cells failed",
+          file=sys.stderr)
 
+
+def _run_local_job(
+    scale: ScaleConfig,
+    figures: Optional[str],
+    jobs: int = 1,
+    quiet: bool = True,
+) -> "tuple[int, Optional[str]]":
+    """Submit + wait + fetch on the in-process service backend."""
     from .experiments import ExperimentContext
+    from .fleet import LocalService
 
-    module = importlib.import_module(f".experiments.{_FIGURES[number]}", __package__)
-    ctx = ExperimentContext(scale)
-    print(module.format_result(module.run(ctx)))
-    return 0
+    progress = (
+        None
+        if quiet
+        else lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    service = LocalService(
+        ExperimentContext(scale), jobs=jobs, progress=progress
+    )
+    handle = service.submit(figures=figures)
+    state = service.wait(handle)
+    if state.state != "done":
+        _print_failures(state)
+        return 1, None
+    return 0, service.fetch(handle)
+
+
+def _cmd_figure(scale: ScaleConfig, number: str) -> int:
+    code, text = _run_local_job(scale, figures=number)
+    if text is not None:
+        print(text)
+    return code
 
 
 def _cmd_inspect(scale: ScaleConfig, workload: str) -> int:
@@ -341,18 +506,20 @@ def _cmd_inspect(scale: ScaleConfig, workload: str) -> int:
     return 0
 
 
-def _cmd_report(scale: ScaleConfig, output: Optional[str]) -> int:
-    from .experiments import ExperimentContext
-    from .experiments.report import generate_report
-
-    text = generate_report(ExperimentContext(scale))
+def _write_report(text: str, output: Optional[str]) -> None:
     if output:
         with open(output, "w") as fh:
             fh.write(text + "\n")
         print(f"report written to {output}")
     else:
         print(text)
-    return 0
+
+
+def _cmd_report(scale: ScaleConfig, output: Optional[str]) -> int:
+    code, text = _run_local_job(scale, figures=None)
+    if text is not None:
+        _write_report(text, output)
+    return code
 
 
 def _cmd_run_all(
@@ -361,61 +528,45 @@ def _cmd_run_all(
     figures: Optional[str],
     output: Optional[str],
     quiet: bool,
+    queue: Optional[str],
 ) -> int:
-    from .experiments import ExperimentContext, enumerate_cells, run_cells
-    from .experiments.report import FIGURE_MODULES, generate_report
-
-    aliases = {number: module for number, module in FIGURE_MODULES}
-    # "6" and "7" are one combined figure; accept either spelling.
-    aliases["6"] = aliases["7"] = aliases["6/7"]
-
-    numbers: Optional[list] = None
-    modules: Optional[list] = None
-    if figures:
-        wanted = [item.strip() for item in figures.split(",") if item.strip()]
-        unknown = sorted(set(wanted) - set(aliases))
-        if unknown:
-            print(
-                f"unknown figure id(s): {', '.join(unknown)} "
-                f"(choose from {', '.join(number for number, _ in FIGURE_MODULES)})",
-                file=sys.stderr,
-            )
-            return 2
-        numbers = []
-        modules = []
-        for item in wanted:
-            module = aliases[item]
-            number = next(n for n, m in FIGURE_MODULES if m == module)
-            if module not in modules:
-                modules.append(module)
-                numbers.append(number)
+    from .errors import OrchestrationError
+    from .experiments import ExperimentContext
 
     ctx = ExperimentContext(scale)
-    cells = enumerate_cells(ctx, figures=modules)
-    progress = (
-        None
-        if quiet
-        else lambda line: print(line, file=sys.stderr, flush=True)
-    )
-    outcomes = run_cells(ctx, cells, jobs=jobs, progress=progress)
-    failed = [o for o in outcomes if o.status != "ok"]
-    for outcome in failed:
-        print(
-            f"cell {outcome.cell.cell_id} failed after {outcome.attempts} "
-            f"attempt(s): {outcome.status}: {outcome.error}",
-            file=sys.stderr,
-        )
-    if failed:
-        print(f"{len(failed)}/{len(outcomes)} cells failed", file=sys.stderr)
-        return 1
+    try:
+        if queue:
+            from .fleet import QueueService
 
-    text = generate_report(ctx, figures=numbers)
-    if output:
-        with open(output, "w") as fh:
-            fh.write(text + "\n")
-        print(f"report written to {output}")
-    else:
-        print(text)
+            service: "ExperimentService" = QueueService(
+                ctx, Path(queue)
+            )
+        else:
+            from .fleet import LocalService
+
+            progress = (
+                None
+                if quiet
+                else lambda line: print(line, file=sys.stderr, flush=True)
+            )
+            service = LocalService(ctx, jobs=jobs, progress=progress)
+        handle = service.submit(figures=figures)
+        if queue:
+            print(
+                f"job {handle.job_id} submitted to {queue}; waiting for "
+                "fleet workers (start them with: pgss-sim worker "
+                f"--queue {queue})",
+                file=sys.stderr,
+            )
+        state = service.wait(handle)
+        if state.state != "done":
+            _print_failures(state)
+            return 1
+        text = service.fetch(handle)
+    except OrchestrationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _write_report(text, output)
     stats = ctx.cache.stats()
     print(
         f"cache: {stats['hits']} hits, {stats['misses']} misses, "
@@ -450,11 +601,130 @@ def _cmd_calibrate(scale: ScaleConfig) -> int:
     return 0
 
 
-def _cmd_clear_cache() -> int:
+def _cmd_clear_cache(queue: Optional[str], sweep_only: bool) -> int:
     from .experiments import ResultCache
 
-    removed = ResultCache().clear()
-    print(f"removed {removed} cached files")
+    cache = ResultCache()
+    if sweep_only:
+        swept = cache.sweep()
+        print(
+            f"swept cache: {swept['stale_claims']} stale claims, "
+            f"{swept['tmp_files']} tmp files removed"
+        )
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached files")
+    if queue:
+        from .fleet import JobQueue
+
+        report = JobQueue(Path(queue)).sweep()
+        print(
+            f"swept queue {queue}: {report.stale_leases} stale leases "
+            f"reclaimed ({report.requeued} tasks requeued, "
+            f"{report.failed} failed out of retries), "
+            f"{report.orphan_files} orphan files, "
+            f"{report.orphan_checkpoints} orphan checkpoint dirs removed"
+        )
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace, scale: ScaleConfig) -> int:
+    from .errors import OrchestrationError
+    from .experiments import ExperimentContext
+    from .fleet import JobQueue, QueueService
+
+    queue_dir = Path(args.queue)
+    try:
+        if args.jobs_command == "submit":
+            service = QueueService(
+                ExperimentContext(scale),
+                queue_dir,
+                priority=args.priority,
+                retries=args.retries,
+            )
+            handle = service.submit(figures=args.figures)
+            total = service.status(handle).total
+            print(handle.job_id)
+            print(
+                f"{total} cells queued in {queue_dir}; execute with: "
+                f"pgss-sim worker --queue {queue_dir}",
+                file=sys.stderr,
+            )
+            return 0
+        if args.jobs_command == "status":
+            queue = JobQueue(queue_dir)
+            job_ids = [args.job] if args.job else queue.jobs()
+            if not job_ids:
+                print(f"no jobs in {queue_dir}")
+                return 0
+            for job_id in job_ids:
+                state = queue.status(job_id)
+                counts = ", ".join(
+                    f"{k}: {v}" for k, v in sorted(state.counts.items()) if v
+                )
+                print(f"{state.job_id}  {state.state}  [{counts or 'empty'}]")
+                for cell_id, error in sorted(state.failures.items()):
+                    print(f"  {cell_id}: {error}")
+            return 0
+        if args.jobs_command == "fetch":
+            service = QueueService.from_queue(queue_dir, args.job)
+            text = service.fetch(args.job)
+            _write_report(text, args.output)
+            return 0
+        if args.jobs_command == "cancel":
+            cancelled = QueueService.from_queue(queue_dir, args.job).cancel(
+                args.job
+            )
+            print(
+                f"job {args.job} "
+                + ("cancelled" if cancelled else "already finished or cancelled")
+            )
+            return 0
+    except OrchestrationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 2
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .errors import OrchestrationError
+    from .fleet import (
+        DEFAULT_CHECKPOINT_WINDOWS,
+        DEFAULT_LEASE_S,
+        DEFAULT_POLL_S,
+        run_worker,
+    )
+    from .experiments.parallel import DEFAULT_TIMEOUT_S
+
+    progress = (
+        None
+        if args.quiet
+        else lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    try:
+        executed = run_worker(
+            Path(args.queue),
+            lease_s=args.lease if args.lease is not None else DEFAULT_LEASE_S,
+            timeout_s=(
+                args.timeout if args.timeout is not None else DEFAULT_TIMEOUT_S
+            ),
+            poll_s=args.poll if args.poll is not None else DEFAULT_POLL_S,
+            drain=args.drain,
+            max_cells=args.max_cells,
+            checkpoint_windows=(
+                args.checkpoint_windows
+                if args.checkpoint_windows is not None
+                else DEFAULT_CHECKPOINT_WINDOWS
+            ),
+            progress=progress,
+        )
+    except OrchestrationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 130
+    print(f"worker executed {executed} cells", file=sys.stderr)
     return 0
 
 
@@ -483,14 +753,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(scale, args.output)
     if args.command == "run-all":
         return _cmd_run_all(
-            scale, args.jobs, args.figures, args.output, args.quiet
+            scale, args.jobs, args.figures, args.output, args.quiet, args.queue
         )
+    if args.command == "jobs":
+        return _cmd_jobs(args, scale)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "rates":
         return _cmd_rates(scale)
     if args.command == "calibrate":
         return _cmd_calibrate(scale)
     if args.command == "clear-cache":
-        return _cmd_clear_cache()
+        return _cmd_clear_cache(args.queue, args.sweep)
     return 2
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "ClusteringError",
     "CacheError",
     "OrchestrationError",
+    "FleetError",
 ]
 
 
@@ -90,3 +91,13 @@ class CacheError(ReproError):
 
 class OrchestrationError(ReproError):
     """The parallel experiment driver was configured or driven incorrectly."""
+
+
+class FleetError(OrchestrationError):
+    """The distributed job queue or a fleet worker was misused.
+
+    Subclasses :class:`OrchestrationError` because the fleet is the
+    multi-host generalisation of the in-process parallel driver; callers
+    that already handle orchestration failures handle fleet failures
+    for free.
+    """

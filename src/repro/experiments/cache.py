@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import socket
 import time
 import uuid
 from pathlib import Path
@@ -143,6 +144,30 @@ class ResultCache:
                 removed += 1
         return removed
 
+    def sweep(self) -> Dict[str, int]:
+        """Remove crash litter without touching published entries.
+
+        Deletes orphaned ``.tmp`` files and ``.claim`` files whose
+        holder is dead (same-host check; foreign-host claims are left to
+        the wait-deadline logic).  Returns counts per category — run by
+        ``pgss-sim clear-cache --sweep`` after killing workers.
+        """
+        report = {"stale_claims": 0, "tmp_files": 0}
+        for path in sorted(self.directory.glob("*.claim")):
+            if not self._claim_holder_alive(path):
+                try:
+                    path.unlink()
+                    report["stale_claims"] += 1
+                except OSError:
+                    pass
+        for path in sorted(self.directory.glob("*.tmp")):
+            try:
+                path.unlink()
+                report["tmp_files"] += 1
+            except OSError:
+                pass
+        return report
+
     # ------------------------------------------------------------------
     # Concurrency-safe get-or-compute machinery.
 
@@ -230,7 +255,11 @@ class ResultCache:
             # duplicate suppression rather than blocking the computation.
             return True
         with os.fdopen(fd, "w") as fh:
-            fh.write(str(os.getpid()))
+            # "pid host": liveness is only checkable on the claimant's
+            # own host, so peers elsewhere must honour the claim until
+            # the wait deadline.  Pre-host claims hold a bare pid; the
+            # parser accepts both.
+            fh.write(f"{os.getpid()} {socket.gethostname()}")
         return True
 
     def _release_claim(self, claim: Path) -> None:
@@ -242,11 +271,20 @@ class ResultCache:
     @staticmethod
     def _claim_holder_alive(claim: Path) -> bool:
         try:
-            pid = int(claim.read_text().strip() or "0")
-        except (OSError, ValueError):
+            parts = claim.read_text().split()
+        except OSError:
+            return False
+        try:
+            pid = int(parts[0]) if parts else 0
+        except ValueError:
             return False
         if pid <= 0:
             return False
+        if len(parts) > 1 and parts[1] != socket.gethostname():
+            # A pid on another fleet host is unverifiable from here;
+            # treat the claim as live and let the wait deadline bound
+            # how long a truly dead foreign holder can stall us.
+            return True
         try:
             os.kill(pid, 0)
         except ProcessLookupError:

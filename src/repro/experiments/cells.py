@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import OrchestrationError
-from .runner import ExperimentContext
+from .runner import ExperimentContext, service_scope
 
 __all__ = [
     "ExperimentCell",
@@ -104,7 +104,10 @@ def run_cell(ctx: ExperimentContext, cell: ExperimentCell) -> Any:
         raise OrchestrationError(
             f"figure module {cell.figure!r} does not define run_cell()"
         )
-    return runner(ctx, cell.benchmark, cell.kwargs())
+    # Cell execution is part of the service; figure helpers that compose
+    # other figures' entry points must not trip the deprecation shim.
+    with service_scope():
+        return runner(ctx, cell.benchmark, cell.kwargs())
 
 
 def enumerate_cells(

@@ -18,7 +18,7 @@ from ..sampling.pgss import Pgss, PgssConfig, PgssController
 from ..sampling.simpoint import SimPoint, SimPointConfig
 from ..sampling.smarts import Smarts, SmartsConfig
 from .cells import ExperimentCell, trace_cell
-from .runner import ExperimentContext
+from .runner import ExperimentContext, figure_entry
 
 __all__ = ["run", "format_result", "cells", "BENCHMARK", "TIMELINE_COLS"]
 
@@ -64,6 +64,7 @@ def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
     return [trace_cell(BENCHMARK)]
 
 
+@figure_entry
 def run(ctx: ExperimentContext, benchmark: str = BENCHMARK) -> Dict[str, Any]:
     """Collect real sample positions for the three techniques."""
     scale = ctx.scale

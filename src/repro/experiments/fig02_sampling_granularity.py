@@ -19,7 +19,7 @@ import numpy as np
 
 from .cells import ExperimentCell, trace_cell
 from .formatting import fmt_ops, table
-from .runner import ExperimentContext
+from .runner import ExperimentContext, figure_entry
 
 __all__ = ["run", "format_result", "cells", "BENCHMARK"]
 
@@ -35,6 +35,7 @@ def cells(ctx: ExperimentContext) -> List[ExperimentCell]:
     return [trace_cell(BENCHMARK)]
 
 
+@figure_entry
 def run(ctx: ExperimentContext, benchmark: str = BENCHMARK) -> Dict[str, Any]:
     """Compute the per-period IPC series and their dispersion."""
     trace = ctx.trace(benchmark)

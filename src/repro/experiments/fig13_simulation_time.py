@@ -30,7 +30,7 @@ from .fig11_pgss_sweep import run_single as pgss_run_single
 from .fig12_technique_comparison import cells as fig12_cells
 from .fig12_technique_comparison import run as run_fig12
 from .formatting import table
-from .runner import ExperimentContext
+from .runner import ExperimentContext, figure_entry
 
 __all__ = ["run", "format_result", "cells", "run_cell", "measure_rates"]
 
@@ -205,6 +205,7 @@ def _technique_times(
     return times
 
 
+@figure_entry
 def run(ctx: ExperimentContext) -> Dict[str, Any]:
     """Measure rates and compose suite-level simulation times."""
     rates = _cached_rates(ctx)

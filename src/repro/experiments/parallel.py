@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 import os
 import signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -77,20 +78,27 @@ class _CellTimeout(OrchestrationError):
 
 def _context_spec(ctx: ExperimentContext) -> Dict[str, Any]:
     """Picklable description from which a worker rebuilds the context."""
-    return {
+    spec: Dict[str, Any] = {
         "scale": ctx.scale,
         "machine": ctx.machine,
         "cache_dir": str(ctx.cache.directory),
         "benchmarks": list(ctx.benchmarks),
     }
+    if ctx.checkpoint_dir is not None:
+        spec["checkpoint_dir"] = str(ctx.checkpoint_dir)
+        spec["checkpoint_windows"] = ctx.checkpoint_windows
+    return spec
 
 
 def _context_from_spec(spec: Dict[str, Any]) -> ExperimentContext:
+    checkpoint_dir = spec.get("checkpoint_dir")
     return ExperimentContext(
         scale=spec["scale"],
         machine=spec["machine"],
         cache_dir=Path(spec["cache_dir"]),
         benchmarks=spec["benchmarks"],
+        checkpoint_dir=Path(checkpoint_dir) if checkpoint_dir else None,
+        checkpoint_windows=int(spec.get("checkpoint_windows", 0)),
     )
 
 
@@ -112,7 +120,14 @@ def _execute_cell(
     slot forever.
     """
     ctx = _context_from_spec(spec)
-    use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
+    # SIGALRM can only be armed on the main thread; a fleet worker driven
+    # from a helper thread (tests, embedders) runs without the in-process
+    # timeout and relies on the queue's lease expiry instead.
+    use_alarm = (
+        bool(timeout_s)
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
     previous_handler = None
     # Host timing here measures orchestration wall time for reporting; it
     # never influences simulated state.

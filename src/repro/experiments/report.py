@@ -8,11 +8,12 @@ counterpart of EXPERIMENTS.md.
 from __future__ import annotations
 
 import importlib
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
-from .runner import ExperimentContext
+from ..errors import OrchestrationError
+from .runner import ExperimentContext, service_scope
 
-__all__ = ["FIGURE_MODULES", "generate_report"]
+__all__ = ["FIGURE_MODULES", "generate_report", "resolve_figure_ids"]
 
 #: Figure number -> experiments module name, in presentation order.
 FIGURE_MODULES = (
@@ -31,10 +32,53 @@ FIGURE_MODULES = (
 )
 
 
+def resolve_figure_ids(
+    figures: Union[str, Sequence[str], None],
+) -> Tuple[Optional[List[str]], Optional[List[str]]]:
+    """Map user figure ids to ``(numbers, module_names)``.
+
+    Accepts a comma-separated string (``"2,12,ext-tradeoff"``) or a
+    sequence of ids; ``None`` means "all figures" and maps to
+    ``(None, None)``.  ``"6"`` and ``"7"`` both name the combined
+    Figure 6/7 module.  Unknown ids raise
+    :class:`~repro.errors.OrchestrationError`.
+    """
+    if figures is None:
+        return None, None
+    if isinstance(figures, str):
+        wanted = [item.strip() for item in figures.split(",") if item.strip()]
+    else:
+        wanted = [str(item) for item in figures]
+    if not wanted:
+        return None, None
+    aliases = {number: module for number, module in FIGURE_MODULES}
+    aliases["6"] = aliases["7"] = aliases["6/7"]
+    unknown = sorted(set(wanted) - set(aliases))
+    if unknown:
+        raise OrchestrationError(
+            f"unknown figure id(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(n for n, _ in FIGURE_MODULES)})"
+        )
+    numbers: List[str] = []
+    modules: List[str] = []
+    for item in wanted:
+        module = aliases[item]
+        number = next(n for n, m in FIGURE_MODULES if m == module)
+        if module not in modules:
+            modules.append(module)
+            numbers.append(number)
+    return numbers, modules
+
+
 def generate_report(
     ctx: ExperimentContext, figures: Optional[List[str]] = None
 ) -> str:
     """Run the selected figures (default: all) and return the report text.
+
+    This is the sanctioned figure-assembly path (it enters the service
+    scope, so the figure modules' deprecated direct entry points do not
+    warn); user code should reach it through
+    :class:`repro.fleet.ExperimentService.fetch`.
 
     Args:
         ctx: experiment context (results come from its cache when warm).
@@ -54,7 +98,8 @@ def generate_report(
         module = importlib.import_module(
             f".{module_name}", "repro.experiments"
         )
-        result = module.run(ctx)
+        with service_scope():
+            result = module.run(ctx)
         sections.append(module.format_result(result))
         sections.append("-" * 72)
     return "\n\n".join(sections)

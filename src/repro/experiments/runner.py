@@ -1,23 +1,90 @@
-"""The shared experiment context.
+"""The shared experiment context and the sanctioned-entry machinery.
 
 Owns the scale configuration, machine model, and result cache, and
 provides the primitives every figure module needs: fresh programs, cached
 reference traces, true IPCs, and cached technique runs.
+
+This module is also where the experiment API's front door is enforced.
+Figure modules decorate their ``run()`` with :func:`figure_entry`; a
+direct call from user code raises a :class:`DeprecationWarning` steering
+it to :class:`repro.fleet.ExperimentService`, while the sanctioned paths
+(report assembly, cell execution, the service itself) run inside
+:func:`service_scope` and stay silent.  The simlint rule HYG006 flags
+the same direct calls statically.
 """
 
 from __future__ import annotations
 
+import contextvars
+import functools
+import warnings
+from contextlib import contextmanager
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, TypeVar, cast
 
 from ..config import DEFAULT_MACHINE, MachineConfig, Scale, ScaleConfig
+from ..cpu.checkpoints import CheckpointFile
 from ..program import Program, WORKLOAD_NAMES, get_workload
 from ..sampling.base import SamplingResult, SamplingTechnique
 from ..sampling.full import ReferenceTrace, collect_reference_trace
 from .cache import ResultCache
 
-__all__ = ["ExperimentContext"]
+__all__ = [
+    "ExperimentContext",
+    "figure_entry",
+    "in_service_scope",
+    "service_scope",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: True while executing inside the experiment service (report assembly,
+#: cell execution, service fetch); direct figure entry points only warn
+#: when this is unset.
+_SERVICE_SCOPE: "contextvars.ContextVar[bool]" = contextvars.ContextVar(
+    "pgss_service_scope", default=False
+)
+
+
+@contextmanager
+def service_scope() -> Iterator[None]:
+    """Mark the enclosed block as running inside the experiment service."""
+    token = _SERVICE_SCOPE.set(True)
+    try:
+        yield
+    finally:
+        _SERVICE_SCOPE.reset(token)
+
+
+def in_service_scope() -> bool:
+    """True when called from a sanctioned experiment-service path."""
+    return _SERVICE_SCOPE.get()
+
+
+def figure_entry(func: F) -> F:
+    """Deprecation shim for direct figure-module ``run(ctx)`` calls.
+
+    The figure modules remain importable and callable (existing
+    notebooks and tests keep working), but a call from outside the
+    service emits a :class:`DeprecationWarning` pointing at the
+    supported API: ``ExperimentService.submit`` / ``fetch``.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if not _SERVICE_SCOPE.get():
+            warnings.warn(
+                f"direct call to {func.__module__}.{func.__name__}() is "
+                "deprecated; submit the figure through "
+                "repro.fleet.ExperimentService (pgss-sim jobs submit) and "
+                "assemble it with fetch()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return func(*args, **kwargs)
+
+    return cast(F, wrapper)
 
 
 class ExperimentContext:
@@ -28,6 +95,12 @@ class ExperimentContext:
         machine: simulated machine.
         cache_dir: result-cache directory (default: ``<repo>/.expcache``).
         benchmarks: workload subset (default: the paper's ten).
+        checkpoint_dir: when set, long DETAIL cells (reference-trace
+            collection) persist periodic engine checkpoints under this
+            directory and resume from them on a retry — the fleet worker
+            points this at the queue's per-task checkpoint directory.
+        checkpoint_windows: trace windows between two checkpoint saves
+            (ignored unless ``checkpoint_dir`` is set).
     """
 
     def __init__(
@@ -36,11 +109,15 @@ class ExperimentContext:
         machine: MachineConfig = DEFAULT_MACHINE,
         cache_dir: Optional[Path] = None,
         benchmarks: Optional[List[str]] = None,
+        checkpoint_dir: Optional[Path] = None,
+        checkpoint_windows: int = 0,
     ) -> None:
         self.scale = scale
         self.machine = machine
         self.cache = ResultCache(cache_dir)
         self.benchmarks = list(benchmarks) if benchmarks else list(WORKLOAD_NAMES)
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_windows = int(checkpoint_windows)
 
     def _machine_key(self) -> Dict[str, Any]:
         return asdict(self.machine)
@@ -50,7 +127,14 @@ class ExperimentContext:
         return get_workload(name, self.scale)
 
     def trace(self, name: str) -> ReferenceTrace:
-        """Cached instrumented full-detail trace of workload *name*."""
+        """Cached instrumented full-detail trace of workload *name*.
+
+        When the context has a checkpoint directory, a cache miss is
+        computed resumably: the engine snapshot is persisted every
+        ``checkpoint_windows`` windows under a file keyed exactly like
+        the cache entry, so a killed worker's successor continues from
+        the last snapshot instead of op 0 — with byte-identical output.
+        """
         payload = {
             "kind": "trace",
             "benchmark": name,
@@ -59,12 +143,22 @@ class ExperimentContext:
             "window": self.scale.trace_window,
             "machine": self._machine_key(),
         }
-        return self.cache.trace(
-            payload,
-            lambda: collect_reference_trace(
-                self.program(name), self.scale.trace_window, machine=self.machine
-            ),
-        )
+
+        def compute() -> ReferenceTrace:
+            checkpoint = None
+            if self.checkpoint_dir is not None and self.checkpoint_windows > 0:
+                checkpoint = CheckpointFile(
+                    self.checkpoint_dir / f"{self.cache.key(payload)}.trace.ckpt"
+                )
+            return collect_reference_trace(
+                self.program(name),
+                self.scale.trace_window,
+                machine=self.machine,
+                checkpoint=checkpoint,
+                checkpoint_windows=self.checkpoint_windows,
+            )
+
+        return self.cache.trace(payload, compute)
 
     def true_ipc(self, name: str) -> float:
         """Ground-truth IPC of workload *name* (from the cached trace)."""

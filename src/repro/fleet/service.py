@@ -1,0 +1,354 @@
+"""The experiment service: the one supported way to run experiments.
+
+Every driver — ``pgss-sim run-all``, ``figure``, ``report``, the
+``jobs`` CLI, and any future sweep — goes through the same four-verb
+facade::
+
+    service = LocalService(ctx, jobs=4)          # or QueueService(ctx, dir)
+    handle  = service.submit(figures="2,12")     # enqueue cells
+    status  = service.wait(handle)               # or poll service.status()
+    text    = service.fetch(handle)              # assemble the report
+    service.cancel(handle)                       # abandon pending work
+
+Two backends implement the interface:
+
+* :class:`LocalService` — the single-host backend.  ``wait()`` executes
+  the job's cells through :class:`~repro.experiments.parallel
+  .ParallelRunner` (``jobs=1`` is the exact serial path), so the old
+  ``run-all --jobs N`` behaviour is literally ``submit`` + ``wait`` +
+  ``fetch`` on this backend.
+* :class:`QueueService` — the fleet backend.  ``submit()`` writes tasks
+  into a shared :class:`~repro.fleet.queue.JobQueue` directory and
+  returns immediately; any number of ``pgss-sim worker`` processes on
+  any number of hosts execute them, and ``wait()`` just polls the queue.
+
+Both publish results exclusively through the content-addressed
+:class:`~repro.experiments.cache.ResultCache`, so a report fetched after
+a fleet run is byte-identical to one fetched after a serial run.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import FleetError
+from ..experiments.cells import ExperimentCell, enumerate_cells
+from ..experiments.parallel import (
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT_S,
+    CellOutcome,
+    ParallelRunner,
+    _context_from_spec,
+    _context_spec,
+)
+from ..experiments.report import generate_report, resolve_figure_ids
+from ..experiments.runner import ExperimentContext, service_scope
+from .queue import (
+    DEFAULT_LEASE_S,
+    JobQueue,
+    JobState,
+    spec_from_doc,
+    spec_to_doc,
+)
+
+__all__ = [
+    "ExperimentService",
+    "JobHandle",
+    "LocalService",
+    "QueueService",
+]
+
+FigureSpec = Union[str, Sequence[str], None]
+
+
+@dataclass(frozen=True)
+class JobHandle:
+    """Opaque reference to one submitted job.
+
+    The ``job_id`` string round-trips through the CLI (``pgss-sim jobs
+    status <id>``); ``figures`` carries the submitted figure numbers so
+    ``fetch`` can assemble exactly the requested report.
+    """
+
+    job_id: str
+    figures: Optional[Tuple[str, ...]] = None
+
+    def __str__(self) -> str:
+        return self.job_id
+
+
+class ExperimentService(abc.ABC):
+    """Abstract front door: submit experiment cells, poll, fetch figures."""
+
+    def __init__(self, ctx: ExperimentContext) -> None:
+        self.ctx = ctx
+
+    # -- the four verbs -------------------------------------------------
+
+    @abc.abstractmethod
+    def submit(
+        self,
+        figures: FigureSpec = None,
+        cells: Optional[Sequence[ExperimentCell]] = None,
+    ) -> JobHandle:
+        """Enqueue a job: either figure ids (default: all) or raw cells."""
+
+    @abc.abstractmethod
+    def status(self, handle: Union[JobHandle, str]) -> JobState:
+        """Current aggregate state of the job."""
+
+    @abc.abstractmethod
+    def wait(
+        self,
+        handle: Union[JobHandle, str],
+        timeout_s: Optional[float] = None,
+    ) -> JobState:
+        """Block until the job reaches a terminal state (or *timeout_s*)."""
+
+    @abc.abstractmethod
+    def cancel(self, handle: Union[JobHandle, str]) -> bool:
+        """Prevent pending cells from running; True if anything changed."""
+
+    # -- shared behaviour ----------------------------------------------
+
+    def fetch(
+        self,
+        handle: Union[JobHandle, str],
+        figures: FigureSpec = None,
+    ) -> str:
+        """Assemble the job's report from the (now warm) result cache.
+
+        Requires the job to be ``done``; fetching earlier would silently
+        recompute missing cells in-process, defeating the fleet.
+        """
+        state = self.status(handle)
+        if state.state != "done":
+            raise FleetError(
+                f"job {state.job_id} is {state.state}, not done; "
+                "fetch() only assembles completed jobs "
+                f"(counts: {state.counts}, failures: {state.failures})"
+            )
+        numbers = self._fetch_figures(handle, figures)
+        with service_scope():
+            return generate_report(self.ctx, figures=numbers)
+
+    def _fetch_figures(
+        self, handle: Union[JobHandle, str], figures: FigureSpec
+    ) -> Optional[List[str]]:
+        if figures is not None:
+            numbers, _ = resolve_figure_ids(figures)
+            return numbers
+        if isinstance(handle, JobHandle) and handle.figures is not None:
+            return list(handle.figures)
+        return None
+
+    @staticmethod
+    def _job_id(handle: Union[JobHandle, str]) -> str:
+        return handle.job_id if isinstance(handle, JobHandle) else str(handle)
+
+
+@dataclass
+class _LocalJob:
+    cells: List[ExperimentCell]
+    figures: Optional[Tuple[str, ...]]
+    state: str = "pending"
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+
+class LocalService(ExperimentService):
+    """In-process backend over :class:`ParallelRunner`.
+
+    ``submit`` only records the job; ``wait`` executes it (the runner
+    fans cells out over *jobs* worker processes and retries failures).
+    Handles live in this service instance — a local job cannot be
+    polled from another process, which is exactly what
+    :class:`QueueService` exists for.
+    """
+
+    def __init__(
+        self,
+        ctx: ExperimentContext,
+        jobs: int = 1,
+        timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+        retries: int = DEFAULT_RETRIES,
+        progress: Optional[object] = None,
+    ) -> None:
+        super().__init__(ctx)
+        self.runner = ParallelRunner(
+            ctx,
+            jobs=jobs,
+            timeout_s=timeout_s,
+            retries=retries,
+            progress=progress,  # type: ignore[arg-type]
+        )
+        self._jobs: Dict[str, _LocalJob] = {}
+
+    def submit(
+        self,
+        figures: FigureSpec = None,
+        cells: Optional[Sequence[ExperimentCell]] = None,
+    ) -> JobHandle:
+        numbers, modules = resolve_figure_ids(figures)
+        if cells is None:
+            cells = enumerate_cells(self.ctx, figures=modules)
+        if not cells:
+            raise FleetError("job has no cells to run")
+        job_id = uuid.uuid4().hex[:12]
+        handle = JobHandle(job_id, tuple(numbers) if numbers else None)
+        self._jobs[job_id] = _LocalJob(list(cells), handle.figures)
+        return handle
+
+    def _job(self, handle: Union[JobHandle, str]) -> _LocalJob:
+        job_id = self._job_id(handle)
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise FleetError(
+                f"unknown local job {job_id!r}; local handles only resolve "
+                "inside the submitting process (use a queue for detached jobs)"
+            ) from None
+
+    def status(self, handle: Union[JobHandle, str]) -> JobState:
+        job = self._job(handle)
+        counts = {k: 0 for k in ("pending", "running", "ok", "failed", "cancelled")}
+        failures: Dict[str, str] = {}
+        if job.state in ("pending", "running"):
+            counts[job.state if job.state == "pending" else "running"] = len(
+                job.cells
+            )
+        elif job.state == "cancelled":
+            counts["cancelled"] = len(job.cells)
+        else:
+            for outcome in job.outcomes:
+                if outcome.status == "ok":
+                    counts["ok"] += 1
+                else:
+                    counts["failed"] += 1
+                    failures[outcome.cell.cell_id] = (
+                        f"{outcome.status}: {outcome.error}"
+                    )
+        return JobState(
+            job_id=self._job_id(handle),
+            state=job.state,
+            counts=counts,
+            total=len(job.cells),
+            failures=failures,
+        )
+
+    def wait(
+        self,
+        handle: Union[JobHandle, str],
+        timeout_s: Optional[float] = None,
+    ) -> JobState:
+        """Execute the job in-process (the local backend's "wait")."""
+        job = self._job(handle)
+        if job.state == "pending":
+            job.state = "running"
+            with service_scope():
+                job.outcomes = self.runner.run(job.cells)
+            failed = [o for o in job.outcomes if o.status != "ok"]
+            job.state = "failed" if failed else "done"
+        return self.status(handle)
+
+    def cancel(self, handle: Union[JobHandle, str]) -> bool:
+        job = self._job(handle)
+        if job.state == "pending":
+            job.state = "cancelled"
+            return True
+        return False
+
+
+class QueueService(ExperimentService):
+    """Fleet backend over a shared :class:`JobQueue` directory."""
+
+    def __init__(
+        self,
+        ctx: ExperimentContext,
+        queue_dir: Path,
+        lease_s: float = DEFAULT_LEASE_S,
+        priority: int = 50,
+        retries: int = 1,
+        poll_s: float = 0.5,
+    ) -> None:
+        super().__init__(ctx)
+        self.queue = JobQueue(Path(queue_dir), lease_s=lease_s)
+        self.priority = priority
+        self.retries = retries
+        self.poll_s = max(float(poll_s), 0.01)
+
+    @classmethod
+    def from_queue(cls, queue_dir: Path, job_id: str) -> "QueueService":
+        """Rebuild a service for an existing job from its manifest.
+
+        Lets ``pgss-sim jobs status/fetch/cancel <id>`` run in a fresh
+        process: the manifest's context spec is authoritative, so the
+        report is assembled against exactly the submitted scale,
+        machine, cache directory, and benchmark list.
+        """
+        queue = JobQueue(Path(queue_dir))
+        manifest = queue.manifest(job_id)
+        ctx = _context_from_spec(spec_from_doc(manifest["spec"]))
+        return cls(ctx, Path(queue_dir))
+
+    def handle(self, job_id: str) -> JobHandle:
+        """A full handle (with figure ids) for an existing job."""
+        manifest = self.queue.manifest(job_id)
+        figures = tuple(manifest.get("figures") or ()) or None
+        return JobHandle(job_id, figures)
+
+    def submit(
+        self,
+        figures: FigureSpec = None,
+        cells: Optional[Sequence[ExperimentCell]] = None,
+    ) -> JobHandle:
+        numbers, modules = resolve_figure_ids(figures)
+        if cells is None:
+            cells = enumerate_cells(self.ctx, figures=modules)
+        job_id = self.queue.submit(
+            cells,
+            spec_to_doc(_context_spec(self.ctx)),
+            figures=numbers,
+            priority=self.priority,
+            retries=self.retries,
+        )
+        return JobHandle(job_id, tuple(numbers) if numbers else None)
+
+    def status(self, handle: Union[JobHandle, str]) -> JobState:
+        return self.queue.status(self._job_id(handle))
+
+    def wait(
+        self,
+        handle: Union[JobHandle, str],
+        timeout_s: Optional[float] = None,
+    ) -> JobState:
+        # Orchestration wall clock: bounds how long we poll a shared
+        # directory for workers elsewhere; never touches simulated state.
+        deadline = (
+            None
+            if timeout_s is None
+            else time.time() + timeout_s  # simlint: disable=DET004
+        )
+        while True:
+            state = self.status(handle)
+            if state.finished:
+                return state
+            if deadline is not None and time.time() >= deadline:  # simlint: disable=DET004
+                return state
+            time.sleep(self.poll_s)
+
+    def cancel(self, handle: Union[JobHandle, str]) -> bool:
+        return self.queue.cancel(self._job_id(handle))
+
+    def fetch(
+        self,
+        handle: Union[JobHandle, str],
+        figures: FigureSpec = None,
+    ) -> str:
+        if figures is None and not isinstance(handle, JobHandle):
+            handle = self.handle(str(handle))
+        return super().fetch(handle, figures=figures)

@@ -20,6 +20,7 @@ import numpy as np
 from ..bbv import BbvTracker, ReducedBbvHash
 from ..config import DEFAULT_MACHINE, MachineConfig
 from ..cpu import Mode, SimulationEngine
+from ..cpu.checkpoints import CheckpointFile
 from ..errors import SamplingError
 from ..events import EstimateUpdated, EventBus
 from ..program import Program
@@ -168,6 +169,8 @@ def collect_reference_trace(
     machine: MachineConfig = DEFAULT_MACHINE,
     hash_seed: int = 12345,
     bus: Optional[EventBus] = None,
+    checkpoint: Optional[CheckpointFile] = None,
+    checkpoint_windows: int = 0,
 ) -> ReferenceTrace:
     """Run *program* fully in detail, recording per-window (ops, cycles, BBV).
 
@@ -178,6 +181,17 @@ def collect_reference_trace(
         hash_seed: seed of the 5-bit BBV hash (must match the hash used by
             online techniques for trace-derived analyses to be comparable).
         bus: optional event bus observing the instrumented pass.
+        checkpoint: optional :class:`~repro.cpu.checkpoints.CheckpointFile`
+            making the pass resumable — the engine snapshot and the
+            partial window arrays are persisted every *checkpoint_windows*
+            windows, an existing snapshot is restored before running, and
+            the file is cleared once the trace completes.  A resumed run
+            is byte-identical to an uninterrupted one (the engine
+            snapshot restores stream position, RNG state, caches,
+            predictor, and BBV registers exactly).
+        checkpoint_windows: windows between two checkpoint saves
+            (``<= 0`` disables periodic saving even when *checkpoint* is
+            given).
     """
     if window_ops <= 0:
         raise SamplingError("window_ops must be positive")
@@ -187,6 +201,16 @@ def collect_reference_trace(
     ops_list: List[int] = []
     cycles_list: List[int] = []
     bbv_list: List[np.ndarray] = []
+    if checkpoint is not None:
+        saved = checkpoint.load()
+        if saved is not None:
+            engine.restore(saved["state"])
+            extras = saved["extras"]
+            ops_list = [int(v) for v in extras["ops"]]
+            cycles_list = [int(v) for v in extras["cycles"]]
+            bbv_list = [np.asarray(b, dtype=np.float64) for b in extras["bbvs"]]
+
+    windows_since_save = [0]
 
     def plan() -> SegmentPlan:
         while not engine.exhausted:
@@ -198,8 +222,30 @@ def collect_reference_trace(
             ops_list.append(outcome.run.ops)
             cycles_list.append(outcome.run.cycles)
             bbv_list.append(tracker.take_vector(normalize=False))
+            windows_since_save[0] += 1
+            if (
+                checkpoint is not None
+                and checkpoint_windows > 0
+                and windows_since_save[0] >= checkpoint_windows
+                and not engine.exhausted
+            ):
+                windows_since_save[0] = 0
+                # The snapshot is taken on a window boundary, right after
+                # take_vector() drained the BBV registers, so the restored
+                # engine continues exactly where this window ended.
+                checkpoint.save(
+                    engine.ops_completed,
+                    engine.snapshot(),
+                    extras={
+                        "ops": list(ops_list),
+                        "cycles": list(cycles_list),
+                        "bbvs": [np.array(b) for b in bbv_list],
+                    },
+                )
 
     session.execute(plan())
+    if checkpoint is not None:
+        checkpoint.clear()
     return ReferenceTrace(
         program=program.name,
         window_ops_target=window_ops,

@@ -1,0 +1,525 @@
+"""Tests for the distributed experiment fleet (`repro.fleet`).
+
+Covers the filesystem job queue (claim semantics, priorities, leases,
+retries, cancellation, sweeping), the worker loop, the spec JSON round
+trip, the `ExperimentService` facade on both backends, the
+fleet-vs-serial byte-identity guarantee, worker death with
+checkpointed resume, and the `jobs`/`worker` CLI wiring.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import Scale
+from repro.errors import FleetError
+from repro.experiments import ExperimentContext, ResultCache, trace_cell
+from repro.experiments.parallel import _context_spec
+from repro.fleet import (
+    JobHandle,
+    JobQueue,
+    LocalService,
+    QueueService,
+    Worker,
+    spec_from_doc,
+    spec_to_doc,
+)
+
+BENCHMARKS = ["164.gzip", "300.twolf"]
+
+
+def make_ctx(cache_dir):
+    return ExperimentContext(
+        Scale.QUICK, cache_dir=cache_dir, benchmarks=BENCHMARKS
+    )
+
+
+def make_queue(tmp_path, **kwargs):
+    return JobQueue(tmp_path / "queue", **kwargs)
+
+
+def spec_doc(cache_dir):
+    return spec_to_doc(_context_spec(make_ctx(cache_dir)))
+
+
+def submit_traces(queue, cache_dir, benchmarks=BENCHMARKS, **kwargs):
+    cells = [trace_cell(b) for b in benchmarks]
+    return queue.submit(cells, spec_doc(cache_dir), **kwargs)
+
+
+class TestSpecRoundTrip:
+    def test_doc_survives_json_and_rebuilds_equal_configs(self, tmp_path):
+        ctx = make_ctx(tmp_path / "cache")
+        doc = json.loads(json.dumps(spec_to_doc(_context_spec(ctx))))
+        spec = spec_from_doc(doc)
+        assert spec["scale"] == ctx.scale
+        assert spec["machine"] == ctx.machine
+        assert spec["benchmarks"] == BENCHMARKS
+        assert str(ctx.cache.directory) == spec["cache_dir"]
+
+
+class TestJobQueue:
+    def test_submit_and_claim(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = submit_traces(queue, tmp_path / "cache")
+        assert queue.jobs() == [job]
+        task = queue.claim_next("w1")
+        assert task is not None
+        assert task.job_id == job
+        assert task.cell.benchmark == BENCHMARKS[0]
+        assert task.attempts == 1
+
+    def test_empty_submit_rejected(self, tmp_path):
+        queue = make_queue(tmp_path)
+        with pytest.raises(FleetError):
+            queue.submit([], spec_doc(tmp_path / "cache"))
+
+    def test_duplicate_job_id_rejected(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit_traces(queue, tmp_path / "cache", job_id="jobx")
+        with pytest.raises(FleetError):
+            submit_traces(queue, tmp_path / "cache", job_id="jobx")
+
+    def test_claimed_task_is_not_reclaimable(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit_traces(queue, tmp_path / "cache", benchmarks=["164.gzip"])
+        assert queue.claim_next("w1") is not None
+        assert queue.claim_next("w2") is None
+
+    def test_priority_orders_claims(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit_traces(
+            queue, tmp_path / "cache", benchmarks=["164.gzip"], priority=10
+        )
+        submit_traces(
+            queue, tmp_path / "cache", benchmarks=["300.twolf"], priority=90
+        )
+        first = queue.claim_next("w")
+        second = queue.claim_next("w")
+        assert first.cell.benchmark == "300.twolf"
+        assert second.cell.benchmark == "164.gzip"
+
+    def test_bad_priority_rejected(self, tmp_path):
+        queue = make_queue(tmp_path)
+        with pytest.raises(FleetError):
+            submit_traces(queue, tmp_path / "cache", priority=100)
+
+    def test_complete_retires_task(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = submit_traces(queue, tmp_path / "cache", benchmarks=["164.gzip"])
+        task = queue.claim_next("w1")
+        task.complete({"seconds": 0.5})
+        state = queue.status(job)
+        assert state.state == "done"
+        assert state.counts["ok"] == 1
+        assert queue.drained()
+        [outcome] = queue.outcomes(job)
+        assert outcome["status"] == "ok"
+        assert outcome["worker"] == "w1"
+
+    def test_fail_within_budget_requeues_with_attempt_charged(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = submit_traces(
+            queue, tmp_path / "cache", benchmarks=["164.gzip"], retries=1
+        )
+        task = queue.claim_next("w1")
+        task.fail({"error": "boom"})
+        assert queue.status(job).counts["pending"] == 1
+        retry = queue.claim_next("w2")
+        assert retry.attempts == 2
+        retry.fail({"error": "boom again"})
+        state = queue.status(job)
+        assert state.state == "failed"
+        assert "boom again" in list(state.failures.values())[0]
+
+    def test_expired_lease_is_reaped_and_task_requeued(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=0.05)
+        job = submit_traces(
+            queue, tmp_path / "cache", benchmarks=["164.gzip"], retries=1
+        )
+        task = queue.claim_next("w1")
+        assert task is not None
+        time.sleep(0.08)  # let w1's lease expire without heartbeats
+        successor = queue.claim_next("w2")
+        assert successor is not None
+        assert successor.attempts == 2
+        assert successor.worker == "w2"
+        assert queue.status(job).counts["running"] == 1
+
+    def test_expired_lease_out_of_budget_finalises_failed(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=0.05)
+        job = submit_traces(
+            queue, tmp_path / "cache", benchmarks=["164.gzip"], retries=0
+        )
+        queue.claim_next("w1")
+        time.sleep(0.08)
+        assert queue.claim_next("w2") is None
+        state = queue.status(job)
+        assert state.state == "failed"
+        assert "lease expired" in list(state.failures.values())[0]
+
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=0.1)
+        submit_traces(queue, tmp_path / "cache", benchmarks=["164.gzip"])
+        task = queue.claim_next("w1")
+        for _ in range(3):
+            time.sleep(0.05)
+            task.heartbeat()
+        assert queue.claim_next("w2") is None  # lease still live
+
+    def test_cancel_retires_pending_tasks(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = submit_traces(queue, tmp_path / "cache")
+        assert queue.cancel(job) is True
+        assert queue.cancel(job) is False
+        assert queue.claim_next("w1") is None
+        state = queue.status(job)
+        assert state.state == "cancelled"
+        assert state.counts["cancelled"] == 2
+
+    def test_cancel_unknown_job_raises(self, tmp_path):
+        with pytest.raises(FleetError):
+            make_queue(tmp_path).cancel("nope")
+
+    def test_status_unknown_job_raises(self, tmp_path):
+        with pytest.raises(FleetError):
+            make_queue(tmp_path).status("nope")
+
+
+class TestQueueSweep:
+    def test_sweep_reaps_stale_lease_and_counts_requeue(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=0.05)
+        submit_traces(
+            queue, tmp_path / "cache", benchmarks=["164.gzip"], retries=1
+        )
+        queue.claim_next("w1")
+        time.sleep(0.08)
+        report = queue.sweep()
+        assert report.stale_leases == 1
+        assert report.requeued == 1
+        assert report.failed == 0
+        assert queue.pending_tasks() == 1
+
+    def test_sweep_finalises_out_of_budget_lease(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=0.05)
+        job = submit_traces(
+            queue, tmp_path / "cache", benchmarks=["164.gzip"], retries=0
+        )
+        queue.claim_next("w1")
+        time.sleep(0.08)
+        report = queue.sweep()
+        assert report.stale_leases == 1
+        assert report.failed == 1
+        assert queue.status(job).state == "failed"
+
+    def test_sweep_removes_tmp_litter_and_orphan_checkpoints(self, tmp_path):
+        queue = make_queue(tmp_path)
+        (queue.root / "tasks" / "stray.json.123.abc.tmp").write_text("x")
+        orphan = queue.root / "checkpoints" / "00.dead.00000"
+        orphan.mkdir(parents=True)
+        (orphan / "trace.ckpt").write_bytes(b"x")
+        report = queue.sweep()
+        assert report.orphan_files == 1
+        assert report.orphan_checkpoints == 1
+        assert not orphan.exists()
+
+    def test_sweep_keeps_live_lease(self, tmp_path):
+        queue = make_queue(tmp_path, lease_s=60.0)
+        submit_traces(queue, tmp_path / "cache", benchmarks=["164.gzip"])
+        queue.claim_next("w1")
+        report = queue.sweep()
+        assert report.stale_leases == 0
+        assert queue.active_claims() == 1
+
+
+class TestWorker:
+    def test_drain_executes_all_cells_and_publishes_to_cache(self, tmp_path):
+        queue = make_queue(tmp_path)
+        cache_dir = tmp_path / "cache"
+        job = submit_traces(queue, cache_dir)
+        worker = Worker(queue, worker_id="w1", drain=True, poll_s=0.01)
+        assert worker.run() == 2
+        state = queue.status(job)
+        assert state.state == "done"
+        # Results live in the shared cache, not the queue.
+        assert len(list(cache_dir.glob("*.npz"))) == 2
+        # Finished tasks leave no claims, tasks, or checkpoints behind.
+        assert queue.drained()
+        assert list((queue.root / "checkpoints").iterdir()) == []
+
+    def test_max_cells_bounds_the_loop(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit_traces(queue, tmp_path / "cache")
+        worker = Worker(queue, drain=True, max_cells=1, poll_s=0.01)
+        assert worker.run() == 1
+        assert queue.pending_tasks() == 1
+
+    def test_two_workers_split_the_job(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = submit_traces(queue, tmp_path / "cache")
+        workers = [
+            Worker(queue, worker_id=f"w{i}", drain=True, poll_s=0.01)
+            for i in range(2)
+        ]
+        threads = [threading.Thread(target=w.run) for w in workers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert queue.status(job).state == "done"
+        assert sum(w.executed for w in workers) == 2
+
+    def test_fleet_cache_bytes_match_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        fleet_dir = tmp_path / "fleet"
+        serial_ctx = make_ctx(serial_dir)
+        for name in BENCHMARKS:
+            serial_ctx.trace(name)
+        queue = make_queue(tmp_path)
+        submit_traces(queue, fleet_dir)
+        Worker(queue, drain=True, poll_s=0.01).run()
+        serial_files = sorted(p.name for p in serial_dir.glob("*.npz"))
+        fleet_files = sorted(p.name for p in fleet_dir.glob("*.npz"))
+        assert serial_files == fleet_files and serial_files
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() == (
+                fleet_dir / name
+            ).read_bytes()
+
+    def test_dead_worker_leaves_checkpoint_successor_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.sampling import full as full_mod
+
+        queue = make_queue(tmp_path, lease_s=0.05)
+        cache_dir = tmp_path / "cache"
+        job = submit_traces(
+            queue, cache_dir, benchmarks=["164.gzip"], retries=1
+        )
+
+        original = full_mod.collect_reference_trace
+        calls = {"n": 0}
+
+        def dies_after_first_checkpoint(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                kwargs = dict(kwargs)
+                real_ckpt = kwargs.get("checkpoint")
+
+                class Dying(type(real_ckpt)):
+                    def save(self, *a, **kw):
+                        super().save(*a, **kw)
+                        raise KeyboardInterrupt("simulated kill -9")
+
+                kwargs["checkpoint"] = Dying(real_ckpt.path)
+                return original(*args, **kwargs)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            full_mod, "collect_reference_trace", dies_after_first_checkpoint
+        )
+        # The ExperimentContext.trace closure imported the symbol at module
+        # load; patch it where it is looked up.
+        from repro.experiments import runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod, "collect_reference_trace", dies_after_first_checkpoint
+        )
+
+        w1 = Worker(
+            queue, worker_id="w1", drain=True, poll_s=0.01,
+            checkpoint_windows=8,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            w1.run()
+        # w1 "died" mid-cell: its checkpoint survives, its lease expires.
+        task_ckpts = list((queue.root / "checkpoints").glob("*/*.ckpt"))
+        assert len(task_ckpts) == 1
+        time.sleep(0.08)
+
+        w2 = Worker(
+            queue, worker_id="w2", drain=True, poll_s=0.01,
+            checkpoint_windows=8,
+        )
+        assert w2.run() == 1
+        assert queue.status(job).state == "done"
+        [outcome] = queue.outcomes(job)
+        assert outcome["attempts"] == 2 and outcome["worker"] == "w2"
+
+        # The resumed result is byte-identical to a serial computation.
+        serial_dir = tmp_path / "serial"
+        ExperimentContext(
+            Scale.QUICK, cache_dir=serial_dir, benchmarks=["164.gzip"]
+        ).trace("164.gzip")
+        [serial_npz] = sorted(serial_dir.glob("*.npz"))
+        fleet_npz = cache_dir / serial_npz.name
+        assert fleet_npz.read_bytes() == serial_npz.read_bytes()
+
+
+class TestLocalService:
+    def test_submit_wait_fetch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        service = LocalService(make_ctx(tmp_path / "cache"))
+        handle = service.submit(figures="2")
+        assert service.status(handle).state == "pending"
+        state = service.wait(handle)
+        assert state.state == "done"
+        text = service.fetch(handle)
+        assert "Figure 2" in text
+        assert "Figure 3" not in text
+
+    def test_fetch_before_done_raises(self, tmp_path):
+        service = LocalService(make_ctx(tmp_path / "cache"))
+        handle = service.submit(figures="2")
+        with pytest.raises(FleetError):
+            service.fetch(handle)
+
+    def test_cancel_pending_job(self, tmp_path):
+        service = LocalService(make_ctx(tmp_path / "cache"))
+        handle = service.submit(figures="2")
+        assert service.cancel(handle) is True
+        assert service.status(handle).state == "cancelled"
+        assert service.cancel(handle) is False
+
+    def test_unknown_handle_raises(self, tmp_path):
+        service = LocalService(make_ctx(tmp_path / "cache"))
+        with pytest.raises(FleetError):
+            service.status(JobHandle("deadbeef"))
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        from repro.errors import OrchestrationError
+
+        service = LocalService(make_ctx(tmp_path / "cache"))
+        with pytest.raises(OrchestrationError):
+            service.submit(figures="99")
+
+
+class TestQueueService:
+    def test_submit_worker_fetch_round_trip(self, tmp_path):
+        ctx = make_ctx(tmp_path / "cache")
+        service = QueueService(ctx, tmp_path / "queue")
+        handle = service.submit(figures="2")
+        assert service.status(handle).state == "pending"
+        Worker(service.queue, drain=True, poll_s=0.01).run()
+        state = service.wait(handle, timeout_s=1.0)
+        assert state.state == "done"
+        text = service.fetch(handle)
+        assert "Figure 2" in text
+
+    def test_fetch_from_fresh_process_via_manifest(self, tmp_path):
+        ctx = make_ctx(tmp_path / "cache")
+        submitter = QueueService(ctx, tmp_path / "queue")
+        handle = submitter.submit(figures="2")
+        Worker(submitter.queue, drain=True, poll_s=0.01).run()
+        # A different process only knows the queue dir and the job id.
+        fetcher = QueueService.from_queue(tmp_path / "queue", handle.job_id)
+        assert fetcher.ctx.scale == ctx.scale
+        assert fetcher.ctx.benchmarks == ctx.benchmarks
+        text = fetcher.fetch(handle.job_id)
+        assert "Figure 2" in text
+
+    def test_cancel_through_service(self, tmp_path):
+        service = QueueService(make_ctx(tmp_path / "cache"), tmp_path / "queue")
+        handle = service.submit(figures="2")
+        assert service.cancel(handle) is True
+        assert service.wait(handle, timeout_s=1.0).state == "cancelled"
+
+    def test_wait_timeout_returns_unfinished_state(self, tmp_path):
+        service = QueueService(
+            make_ctx(tmp_path / "cache"), tmp_path / "queue", poll_s=0.01
+        )
+        handle = service.submit(figures="2")
+        state = service.wait(handle, timeout_s=0.05)
+        assert state.state == "pending"
+
+
+class TestFleetCli:
+    def test_parser_jobs_submit(self):
+        args = build_parser().parse_args(
+            ["jobs", "submit", "--queue", "q", "--figures", "2,12"]
+        )
+        assert args.command == "jobs"
+        assert args.jobs_command == "submit"
+        assert args.figures == "2,12"
+        assert args.priority == 50
+
+    def test_parser_worker(self):
+        args = build_parser().parse_args(
+            ["worker", "--queue", "q", "--drain", "--max-cells", "3"]
+        )
+        assert args.command == "worker"
+        assert args.drain and args.max_cells == 3
+
+    def test_parser_jobs_requires_queue(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs", "submit"])
+
+    def test_parser_run_all_queue_flag(self):
+        args = build_parser().parse_args(["run-all", "--queue", "q"])
+        assert args.queue == "q"
+
+    def test_cli_submit_worker_status_fetch(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        queue = str(tmp_path / "queue")
+        assert main(
+            ["--scale", "quick", "jobs", "submit", "--queue", queue,
+             "--figures", "2"]
+        ) == 0
+        job = capsys.readouterr().out.strip().splitlines()[0]
+
+        assert main(
+            ["--scale", "quick", "worker", "--queue", queue, "--drain",
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["jobs", "status", "--queue", queue, job]) == 0
+        assert "done" in capsys.readouterr().out
+
+        assert main(["jobs", "fetch", "--queue", queue, job]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_cli_fetch_unfinished_job_fails(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        queue = str(tmp_path / "queue")
+        main(["--scale", "quick", "jobs", "submit", "--queue", queue,
+              "--figures", "2"])
+        job = capsys.readouterr().out.strip().splitlines()[0]
+        assert main(["jobs", "fetch", "--queue", queue, job]) == 2
+        assert "not done" in capsys.readouterr().err
+
+    def test_cli_cancel(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        queue = str(tmp_path / "queue")
+        main(["--scale", "quick", "jobs", "submit", "--queue", queue,
+              "--figures", "2"])
+        job = capsys.readouterr().out.strip().splitlines()[0]
+        assert main(["jobs", "cancel", "--queue", queue, job]) == 0
+        assert "cancelled" in capsys.readouterr().out
+
+    def test_cli_clear_cache_sweeps_queue(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        queue_dir = tmp_path / "queue"
+        queue = JobQueue(queue_dir, lease_s=0.05)
+        submit_traces(queue, tmp_path / "cache", benchmarks=["164.gzip"])
+        queue.claim_next("w1")
+        time.sleep(0.08)
+        assert main(["clear-cache", "--queue", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale leases reclaimed" in out
+
+    def test_cli_clear_cache_sweep_only_keeps_entries(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        cache = ResultCache(cache_dir)
+        cache.json({"kind": "x"}, lambda: {"v": 1})
+        (cache_dir / "dead.json.tmp").write_text("x")
+        assert main(["clear-cache", "--sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "1 tmp files removed" in out
+        assert len(list(cache_dir.glob("*.json"))) == 1
