@@ -52,7 +52,17 @@ from .program import (
     wupwise_analogue,
 )
 from .cpu import Mode, SimulationEngine, CheckpointStore
-from .bbv import BbvTracker, ReducedBbvHash, WideBbvHash, angle_between
+from .signals import (
+    PHASE_SIGNALS,
+    BbvTracker,
+    ConcatenatedSignal,
+    MavTracker,
+    ReducedBbvHash,
+    SignalTracker,
+    WideBbvHash,
+    angle_between,
+    make_signal_tracker,
+)
 
 __version__ = "1.0.0"
 
@@ -94,9 +104,14 @@ __all__ = [
     "Mode",
     "SimulationEngine",
     "CheckpointStore",
-    # bbv
+    # phase signals
+    "PHASE_SIGNALS",
     "BbvTracker",
+    "ConcatenatedSignal",
+    "MavTracker",
     "ReducedBbvHash",
+    "SignalTracker",
     "WideBbvHash",
     "angle_between",
+    "make_signal_tracker",
 ]

@@ -17,9 +17,10 @@ about *where seeds come from*:
   class attributes): a shared generator couples the draw sequence of
   every experiment cell that imports it, breaking per-cell replay.
 * **DET103** — drawing from a module-global RNG inside the measured
-  layers (``repro.cpu``, ``repro.program``, ``repro.bbv``) perturbs the
-  instruction stream that ``SegmentRole.MEASURE`` segments account, so
-  snapshot byte-identity no longer holds between runs.
+  layers (``repro.cpu``, ``repro.program``, ``repro.signals``, and the
+  legacy ``repro.bbv`` facade) perturbs the instruction stream that
+  ``SegmentRole.MEASURE`` segments account, so snapshot byte-identity no
+  longer holds between runs.
 
 The seed-provenance check is interprocedural through helper *returns*
 (a ``derive_seed()`` helper is fine) but deliberately a must-analysis:
@@ -70,8 +71,12 @@ _SEED_PRESERVING_CALLS: FrozenSet[str] = frozenset(
 #: Literal kinds acceptable as seeds.
 _SEED_LITERALS: FrozenSet[str] = frozenset({"int", "str", "bytes"})
 
-#: Packages whose code executes inside measured segments.
-_MEASURE_PACKAGES: FrozenSet[str] = frozenset({"cpu", "program", "bbv"})
+#: Packages whose code executes inside measured segments.  ``signals``
+#: is the phase-signal layer (BBV/MAV trackers attached to the engine);
+#: ``bbv`` is its legacy re-export facade.
+_MEASURE_PACKAGES: FrozenSet[str] = frozenset(
+    {"cpu", "program", "bbv", "signals"}
+)
 
 _SEED_MEMO = "rng:seed_analysis"
 
@@ -300,7 +305,8 @@ class GlobalRngRule(ProjectRule):
 class MeasurePathDrawRule(ProjectRule):
     """DET103: no draws from global RNGs in measured-layer code.
 
-    ``repro.cpu``, ``repro.program`` and ``repro.bbv`` execute inside
+    ``repro.cpu``, ``repro.program``, ``repro.signals`` (and the legacy
+    ``repro.bbv`` facade) execute inside
     the segments that ``SegmentRole.MEASURE`` accounts.  A draw from a
     module-global generator there depends on whatever ran before the
     segment, so the measured (ops, cycles) — and any snapshot taken at a

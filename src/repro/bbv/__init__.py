@@ -1,15 +1,27 @@
-"""Basic Block Vector (BBV) tracking — the paper's Figure 4 mechanism.
+"""Basic Block Vector (BBV) tracking — compatibility facade.
 
-Every taken branch hashes five fixed (randomly chosen) bits of its address
-into an index for a 32-entry register file; the entry is incremented by the
-number of operations retired since the last taken branch.  At each BBV
+The BBV implementation moved into the pluggable phase-signal layer
+(:mod:`repro.signals`) when memory-access vectors joined it as a second
+signal; this package re-exports the historical names so existing imports
+(``from repro.bbv import BbvTracker``) keep working.  New code should
+import from :mod:`repro.signals`.
+
+The mechanism itself is the paper's Figure 4: every taken branch hashes
+five fixed (randomly chosen) bits of its address into an index for a
+32-entry register file; the entry is incremented by the number of
+operations retired since the last taken branch.  At each BBV
 sampling-period boundary the register file is compiled into a vector,
-L2-normalised, and compared with previous vectors by the angle between them
-(the cosine comes from a single dot product).
+L2-normalised, and compared with previous vectors by the angle between
+them (the cosine comes from a single dot product).
 """
 
-from .tracker import BbvHash, BbvTracker, ReducedBbvHash, WideBbvHash
-from .vector import angle_between, l2_norm, l2_normalize, manhattan_distance
+from ..signals.bbv import BbvHash, BbvTracker, ReducedBbvHash, WideBbvHash
+from ..signals.vector import (
+    angle_between,
+    l2_norm,
+    l2_normalize,
+    manhattan_distance,
+)
 
 __all__ = [
     "BbvHash",

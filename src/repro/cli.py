@@ -665,6 +665,13 @@ def _cmd_jobs(args: argparse.Namespace, scale: ScaleConfig) -> int:
                 print(f"{state.job_id}  {state.state}  [{counts or 'empty'}]")
                 for cell_id, error in sorted(state.failures.items()):
                     print(f"  {cell_id}: {error}")
+                    if cell_id in state.logs:
+                        print(f"    log: {state.logs[cell_id]}")
+                if state.logs:
+                    print(
+                        f"  logs: {len(state.logs)} task log(s) under "
+                        f"{queue.root / 'logs'}"
+                    )
             return 0
         if args.jobs_command == "fetch":
             service = QueueService.from_queue(queue_dir, args.job)

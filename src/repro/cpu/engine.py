@@ -113,10 +113,13 @@ class SimulationEngine:
         program: the workload to execute.
         machine: machine configuration.
         predictor: ``"gshare"`` or ``"bimodal"``.
-        bbv_tracker: optional BBV tracker (duck-typed: any object with a
-            ``record(block, taken)`` method); when attached it observes
-            every event in every mode, mirroring the paper's always-on
-            branch profiling hardware.
+        signal_tracker: optional phase-signal tracker (duck-typed against
+            :class:`~repro.signals.SignalTracker`: any object with a
+            ``record(block, taken, k)`` method); when attached it
+            observes every event in every mode, mirroring the paper's
+            always-on profiling hardware.  ``bbv_tracker`` is the
+            historical alias for the same parameter (the BBV was the
+            only signal before :mod:`repro.signals` existed).
         hierarchy: optional pre-built cache hierarchy — the injection
             point for chip-multiprocessor configurations where several
             engines share one L2 (see :mod:`repro.cpu.multicore`).
@@ -141,6 +144,7 @@ class SimulationEngine:
         program: Program,
         machine: MachineConfig = DEFAULT_MACHINE,
         predictor: str = "gshare",
+        signal_tracker: Optional[Any] = None,
         bbv_tracker: Optional[Any] = None,
         hierarchy: Optional[CacheHierarchy] = None,
         stream: Optional[Any] = None,
@@ -153,7 +157,13 @@ class SimulationEngine:
         self.predictor = _make_predictor(predictor, machine.branch_history_bits)
         self.pipeline = InOrderPipeline(machine, self.hierarchy, self.predictor)
         self.warmer = FunctionalWarmer(self.hierarchy, self.predictor)
-        self.bbv_tracker = bbv_tracker
+        if signal_tracker is not None and bbv_tracker is not None:
+            raise ConfigurationError(
+                "pass signal_tracker or its alias bbv_tracker, not both"
+            )
+        self.signal_tracker = (
+            signal_tracker if signal_tracker is not None else bbv_tracker
+        )
         self.accounting = ModeAccounting()
         if batched and not hasattr(self.stream, "next_events"):
             raise ConfigurationError(
@@ -161,6 +171,15 @@ class SimulationEngine:
                 f"(got {type(self.stream).__name__})"
             )
         self.batched = batched
+
+    @property
+    def bbv_tracker(self) -> Optional[Any]:
+        """Historical alias of :attr:`signal_tracker`."""
+        return self.signal_tracker
+
+    @bbv_tracker.setter
+    def bbv_tracker(self, tracker: Optional[Any]) -> None:
+        self.signal_tracker = tracker
 
     @property
     def ops_completed(self) -> int:
@@ -197,7 +216,7 @@ class SimulationEngine:
             if execute is not None:
                 execute(event)
             if record is not None:
-                record(event.block, event.taken)
+                record(event.block, event.taken, event.k)
             ops += event.block.n_ops
         return ops
 
@@ -230,7 +249,7 @@ class SimulationEngine:
         """
         if n_ops < 0:
             raise SimulationError("n_ops must be non-negative")
-        tracker = self.bbv_tracker
+        tracker = self.signal_tracker
         cycles = 0
         # Wall-clock only feeds the rate accounting (Fig. 13), never
         # simulated state.
@@ -295,8 +314,12 @@ class SimulationEngine:
             "predictor": self.predictor.snapshot(),
             "pipeline_cycle": self.pipeline.cycle,
         }
-        if self.bbv_tracker is not None and hasattr(self.bbv_tracker, "snapshot"):
-            state["bbv"] = self.bbv_tracker.snapshot()
+        if self.signal_tracker is not None and hasattr(
+            self.signal_tracker, "snapshot"
+        ):
+            # Key kept as "bbv" for checkpoint-format stability (the BBV
+            # was the only signal when the format was fixed).
+            state["bbv"] = self.signal_tracker.snapshot()
         return state
 
     def restore(self, state: Dict[str, Any]) -> None:
@@ -306,5 +329,5 @@ class SimulationEngine:
         self.predictor.restore(state["predictor"])
         self.pipeline.reset_timing()
         self.pipeline.cycle = state["pipeline_cycle"]
-        if "bbv" in state and self.bbv_tracker is not None:
-            self.bbv_tracker.restore(state["bbv"])
+        if "bbv" in state and self.signal_tracker is not None:
+            self.signal_tracker.restore(state["bbv"])

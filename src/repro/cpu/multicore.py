@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 if TYPE_CHECKING:
     from ..sampling.pgss import PgssConfig
 
-from ..bbv import BbvTracker, ReducedBbvHash
+from ..signals import BbvTracker, ReducedBbvHash
 from ..config import DEFAULT_MACHINE, MachineConfig
 from ..errors import ConfigurationError
 from ..memory import CacheHierarchy

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List
 
-from ..bbv import BbvTracker
+from ..signals import BbvTracker
 from ..cpu import Mode, SimulationEngine
 from ..errors import OrchestrationError
 from ..sampling.smarts import SmartsConfig

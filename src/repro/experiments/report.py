@@ -29,6 +29,7 @@ FIGURE_MODULES = (
     ("13", "fig13_simulation_time"),
     ("ext-stratification", "stratification_gain"),
     ("ext-tradeoff", "tradeoff"),
+    ("ext-signals", "signal_ablation"),
 )
 
 

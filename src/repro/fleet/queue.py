@@ -11,6 +11,7 @@ job per submitted experiment and one task per
       done/<task>.json      terminal outcome record
       cancel/<job>          cancellation marker (empty file)
       checkpoints/<task>/   mid-cell engine checkpoints of the claim holder
+      logs/<task>.log       append-only per-task execution log (workers)
 
 The claim protocol mirrors the result cache's ``.claim`` files
 (DESIGN.md §12): ``O_EXCL`` creation is the atomic test-and-set, so any
@@ -177,6 +178,8 @@ class JobState:
             ``ok`` / ``failed`` / ``cancelled``).
         total: number of tasks in the job.
         failures: cell id -> error message for terminally failed tasks.
+        logs: cell id -> path of the per-task execution log, for every
+            task whose worker has written one (running or finished).
     """
 
     job_id: str
@@ -184,6 +187,7 @@ class JobState:
     counts: Dict[str, int]
     total: int
     failures: Dict[str, str] = field(default_factory=dict)
+    logs: Dict[str, str] = field(default_factory=dict)
 
     @property
     def finished(self) -> bool:
@@ -264,7 +268,15 @@ class JobQueue:
             raise FleetError(f"lease_s must be positive, got {lease_s}")
         self.root = Path(directory)
         self.lease_s = float(lease_s)
-        for sub in ("jobs", "tasks", "claims", "done", "cancel", "checkpoints"):
+        for sub in (
+            "jobs",
+            "tasks",
+            "claims",
+            "done",
+            "cancel",
+            "checkpoints",
+            "logs",
+        ):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -403,6 +415,25 @@ class JobQueue:
             )
         return None
 
+    def log_path(self, name: str) -> Path:
+        """Path of the task's execution log (created lazily by workers)."""
+        return self.root / "logs" / f"{name}.log"
+
+    def append_log(self, name: str, line: str) -> None:
+        """Append one timestamped line to the task's execution log.
+
+        The log is plain text, append-only, and purely diagnostic: it
+        records claim/finish events so a human can reconstruct what a
+        worker did to a task after the fact.  Failures to write it are
+        swallowed — diagnostics must never take a worker down.
+        """
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(_now()))
+        try:
+            with self.log_path(name).open("a") as fh:
+                fh.write(f"{stamp} {line}\n")
+        except OSError:
+            pass
+
     def pending_tasks(self) -> int:
         """Tasks not yet claimed or finished (includes retry-pending)."""
         count = 0
@@ -427,9 +458,13 @@ class JobQueue:
         manifest = self.manifest(job_id)
         counts = {k: 0 for k in ("pending", "running", "ok", "failed", "cancelled")}
         failures: Dict[str, str] = {}
+        logs: Dict[str, str] = {}
         cancelled = self.cancelled(job_id)
         for name in manifest["tasks"]:
             done = _read_json(self.root / "done" / f"{name}.json")
+            log = self.log_path(name)
+            if log.exists():
+                logs[self._cell_id_for(name, done)] = str(log)
             if done is not None:
                 status = done.get("status", "failed")
                 if status == "ok":
@@ -469,7 +504,22 @@ class JobQueue:
             counts=counts,
             total=total,
             failures=failures,
+            logs=logs,
         )
+
+    def _cell_id_for(
+        self, name: str, done: Optional[Dict[str, Any]]
+    ) -> str:
+        """Best-effort cell id of a task: done record, task file, or name."""
+        if done is not None and done.get("cell_id"):
+            return str(done["cell_id"])
+        task_doc = _read_json(self.root / "tasks" / f"{name}.json")
+        if task_doc is not None and "cell" in task_doc:
+            try:
+                return _cell_from_doc(task_doc["cell"]).cell_id
+            except (KeyError, TypeError):
+                pass
+        return name
 
     def outcomes(self, job_id: str) -> List[Dict[str, Any]]:
         """Per-task done-records of *job_id*, in task order."""
@@ -655,6 +705,8 @@ class JobQueue:
         }
         if doc["status"] not in _TERMINAL_STATUSES:
             doc["status"] = "failed"
+        if self.log_path(name).exists():
+            doc["log"] = str(self.log_path(name))
         _write_json_atomic(self.root / "done" / f"{name}.json", doc)
         try:
             (self.root / "tasks" / f"{name}.json").unlink()

@@ -106,6 +106,11 @@ class Worker:
             f"{self.worker_id} claimed {task.cell.cell_id} "
             f"(attempt {task.attempts}/{1 + task.retries})"
         )
+        self.queue.append_log(
+            task.name,
+            f"claim cell={task.cell.cell_id} worker={self.worker_id} "
+            f"attempt={task.attempts}/{1 + task.retries}",
+        )
         spec = spec_from_doc(task.spec_doc)
         spec["checkpoint_dir"] = str(task.checkpoint_dir)
         spec["checkpoint_windows"] = self.checkpoint_windows
@@ -126,6 +131,14 @@ class Worker:
             stop.set()
             beat.join(timeout=5.0)
         self.executed += 1
+        error = str(record.get("error", "") or "")
+        self.queue.append_log(
+            task.name,
+            f"finish cell={task.cell.cell_id} worker={self.worker_id} "
+            f"status={record['status']} "
+            f"seconds={float(record.get('seconds', 0.0)):.1f}"
+            + (f" error={error}" if error else ""),
+        )
         if record["status"] == "ok":
             task.complete(record)
         else:

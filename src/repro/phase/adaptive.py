@@ -5,9 +5,11 @@ parameters must be automatically adjusted to each benchmark either in some
 sort of offline analysis of the benchmark or ideally, the algorithm would
 adapt at runtime to program characteristics."
 
-This module implements the runtime variant: the selector watches the BBV
-stream of a short execution prefix (no detailed simulation required), runs
-the online classifier at every candidate threshold, and picks the largest
+This module implements the runtime variant: the selector watches the
+phase-signal vector stream of a short execution prefix (no detailed
+simulation required; any :class:`~repro.signals.SignalTracker` feeds it),
+runs the online classifier at every candidate threshold, and picks the
+largest
 threshold whose phase structure is *usable* — enough distinct phases to
 carry information, but intervals long and stable enough that each phase can
 actually be characterised with a handful of small samples (the failure
@@ -20,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,7 +42,7 @@ class _Candidate:
 
 
 class AdaptiveThresholdSelector:
-    """Chooses a PGSS threshold from a prefix of the BBV stream.
+    """Chooses a PGSS threshold from a prefix of the signal stream.
 
     Args:
         candidates: thresholds to evaluate, as fractions of pi
@@ -74,16 +76,21 @@ class AdaptiveThresholdSelector:
         self.max_phases_per_period = max_phases_per_period
         self.bus = bus
 
-    def evaluate(self, bbvs: Sequence[np.ndarray]) -> List[dict]:
-        """Score every candidate on the prefix; returns per-candidate dicts."""
-        if len(bbvs) < 4:
-            raise ConfigurationError("need at least 4 BBV periods to adapt")
-        results = []
-        n = len(bbvs)
+    def evaluate(self, vectors: Sequence[np.ndarray]) -> List[Dict[str, Any]]:
+        """Score every candidate on the prefix; returns per-candidate dicts.
+
+        Args:
+            vectors: normalised per-period signal vectors (from any
+                tracker's ``take_vector``).
+        """
+        if len(vectors) < 4:
+            raise ConfigurationError("need at least 4 signal periods to adapt")
+        results: List[Dict[str, Any]] = []
+        n = len(vectors)
         for frac in self.candidates:
             classifier = OnlinePhaseClassifier(frac * math.pi)
-            for bbv in bbvs:
-                classifier.observe(np.asarray(bbv, dtype=np.float64), 1)
+            for vector in vectors:
+                classifier.observe(np.asarray(vector, dtype=np.float64), 1)
             change_rate = classifier.n_changes / max(n - 1, 1)
             phase_density = classifier.n_phases / n
             usable = (
@@ -105,14 +112,14 @@ class AdaptiveThresholdSelector:
             )
         return results
 
-    def select(self, bbvs: Sequence[np.ndarray]) -> float:
+    def select(self, vectors: Sequence[np.ndarray]) -> float:
         """Return the chosen threshold as a fraction of pi.
 
         Picks the tightest *usable* candidate that still finds at least
         ``min_phases`` phases; falls back to the best-scoring candidate
         when none qualifies.
         """
-        results = self.evaluate(bbvs)
+        results = self.evaluate(vectors)
         usable = [
             r
             for r in results

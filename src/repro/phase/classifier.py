@@ -1,7 +1,7 @@
 """The online phase classifier of PGSS-Sim (paper Figures 4 and 5).
 
-Per BBV sampling period the classifier receives the period's normalised
-vector and decides, in order:
+Per signal sampling period the classifier receives the period's
+normalised vector and decides, in order:
 
 1. compare against the *previous period's* vector — "it is most likely
    that no phase change occurred"; below threshold means stay in the
@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..bbv.vector import angle_between, manhattan_distance
+from ..signals.vector import angle_between, manhattan_distance
 from ..errors import ConfigurationError
 from ..events import EventBus, PhaseChange
 from .profile import PhaseProfile
@@ -32,7 +32,7 @@ __all__ = ["PhaseDecision", "OnlinePhaseClassifier"]
 
 @dataclass(frozen=True)
 class PhaseDecision:
-    """Outcome of classifying one period's BBV.
+    """Outcome of classifying one period's signal vector.
 
     Attributes:
         phase_id: the phase the period was assigned to.
@@ -50,7 +50,12 @@ class PhaseDecision:
 
 
 class OnlinePhaseClassifier:
-    """Run-time phase detection over a stream of normalised BBVs.
+    """Run-time phase detection over a stream of normalised vectors.
+
+    The classifier is signal-agnostic: it compares whatever normalised
+    vectors the attached :class:`~repro.signals.SignalTracker` compiles
+    (BBV, MAV, or a concatenation), so every signal shares the same
+    Fig. 5 decision structure.
 
     Args:
         threshold: distance below which two vectors are "the same phase".
@@ -82,7 +87,7 @@ class OnlinePhaseClassifier:
         self.metric = metric
         self.phases: List[PhaseProfile] = []
         self.current_phase_id: Optional[int] = None
-        self._last_bbv: Optional[np.ndarray] = None
+        self._last_vector: Optional[np.ndarray] = None
         self.n_changes = 0
         self.n_observations = 0
         self.bus = bus
@@ -99,16 +104,17 @@ class OnlinePhaseClassifier:
             return None
         return self.phases[self.current_phase_id]
 
-    def observe(self, bbv: np.ndarray, ops: int) -> PhaseDecision:
-        """Classify one period's normalised BBV (Fig. 5 decision diamonds).
+    def observe(self, vector: np.ndarray, ops: int) -> PhaseDecision:
+        """Classify one period's normalised vector (Fig. 5 diamonds).
 
         Args:
-            bbv: the period's L2-normalised vector.
+            vector: the period's L2-normalised signal vector (from any
+                tracker's ``take_vector``).
             ops: operations executed during the period (attributed to the
                 chosen phase).
         """
         previous_id = self.current_phase_id
-        decision = self._classify(bbv, ops)
+        decision = self._classify(vector, ops)
         if self.bus is not None and (decision.changed or decision.created):
             self.bus.emit(
                 PhaseChange(
@@ -121,57 +127,57 @@ class OnlinePhaseClassifier:
             )
         return decision
 
-    def _classify(self, bbv: np.ndarray, ops: int) -> PhaseDecision:
+    def _classify(self, vector: np.ndarray, ops: int) -> PhaseDecision:
         """The Fig. 5 decision diamonds, without event emission."""
         self.n_observations += 1
         previous_id = self.current_phase_id
 
-        if self._last_bbv is None:
+        if self._last_vector is None:
             # First period ever: it founds phase 0.
-            profile = PhaseProfile(0, bbv)
+            profile = PhaseProfile(0, vector)
             profile.add_ops(ops)
             self.phases.append(profile)
             self.current_phase_id = 0
-            self._last_bbv = bbv
+            self._last_vector = vector
             return PhaseDecision(0, changed=False, created=True, angle_to_prev=0.0)
 
-        d_prev = self._distance(bbv, self._last_bbv)
+        d_prev = self._distance(vector, self._last_vector)
         if d_prev < self.threshold and previous_id is not None:
             profile = self.phases[previous_id]
-            profile.add_bbv(bbv, ops)
-            self._last_bbv = bbv
+            profile.add_vector(vector, ops)
+            self._last_vector = vector
             return PhaseDecision(
                 previous_id, changed=False, created=False, angle_to_prev=d_prev
             )
 
-        # Does the BBV match an existing phase?
+        # Does the vector match an existing phase?
         best_id = None
         best_d = math.inf
         for profile in self.phases:
-            d = self._distance(bbv, profile.representative)
+            d = self._distance(vector, profile.representative)
             if d < best_d:
                 best_d = d
                 best_id = profile.phase_id
         if best_id is not None and best_d < self.threshold:
             profile = self.phases[best_id]
-            profile.add_bbv(bbv, ops)
+            profile.add_vector(vector, ops)
             changed = best_id != previous_id
             if changed:
                 self.n_changes += 1
             self.current_phase_id = best_id
-            self._last_bbv = bbv
+            self._last_vector = vector
             return PhaseDecision(
                 best_id, changed=changed, created=False, angle_to_prev=d_prev
             )
 
         # Create a new phase.
         new_id = len(self.phases)
-        profile = PhaseProfile(new_id, bbv)
+        profile = PhaseProfile(new_id, vector)
         profile.add_ops(ops)
         self.phases.append(profile)
         self.current_phase_id = new_id
         self.n_changes += 1
-        self._last_bbv = bbv
+        self._last_vector = vector
         return PhaseDecision(new_id, changed=True, created=True, angle_to_prev=d_prev)
 
     def ops_per_phase(self) -> Dict[int, int]:

@@ -26,7 +26,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..bbv.vector import angle_between
+from ..signals.vector import angle_between
 from ..errors import SamplingError
 from .classifier import OnlinePhaseClassifier
 

@@ -1,7 +1,8 @@
-"""Per-phase profiles: representative BBV plus sampled-performance record.
+"""Per-phase profiles: representative vector plus performance record.
 
-A phase's representative vector is the running mean of every member BBV
-(re-normalised for comparisons); its performance record is the list of
+A phase's representative vector is the running mean of every member
+signal vector (BBV by default; re-normalised for comparisons); its
+performance record is the list of
 detailed-sample IPCs taken inside the phase, with the op offset of the most
 recent one — the input to PGSS-Sim's confidence-bound and sample-spreading
 decisions (Fig. 5).
@@ -24,13 +25,14 @@ class PhaseProfile:
 
     Args:
         phase_id: dense id assigned by the classifier.
-        first_bbv: the (normalised) vector that created the phase.
+        first_vector: the (normalised) signal vector that created the
+            phase.
     """
 
-    def __init__(self, phase_id: int, first_bbv: np.ndarray) -> None:
+    def __init__(self, phase_id: int, first_vector: np.ndarray) -> None:
         self.phase_id = phase_id
-        self._bbv_sum = np.array(first_bbv, dtype=np.float64)
-        self.bbv_count = 1
+        self._vector_sum = np.array(first_vector, dtype=np.float64)
+        self.vector_count = 1
         #: Total operations attributed to this phase.
         self.ops = 0
         #: IPC of each detailed sample taken while in this phase.
@@ -42,17 +44,21 @@ class PhaseProfile:
 
     @property
     def representative(self) -> np.ndarray:
-        """Unit-norm mean of all member BBVs."""
-        norm = float(np.sqrt(np.dot(self._bbv_sum, self._bbv_sum)))
+        """Unit-norm mean of all member vectors."""
+        norm = float(np.sqrt(np.dot(self._vector_sum, self._vector_sum)))
         if norm == 0.0:
-            return self._bbv_sum.copy()
-        return self._bbv_sum / norm
+            return self._vector_sum.copy()
+        return self._vector_sum / norm
+
+    def add_vector(self, vector: np.ndarray, ops: int) -> None:
+        """Fold one period's vector (and its op count) into the phase."""
+        self._vector_sum += vector
+        self.vector_count += 1
+        self.ops += ops
 
     def add_bbv(self, bbv: np.ndarray, ops: int) -> None:
-        """Fold one period's vector (and its op count) into the phase."""
-        self._bbv_sum += bbv
-        self.bbv_count += 1
-        self.ops += ops
+        """Historical alias of :meth:`add_vector`."""
+        self.add_vector(bbv, ops)
 
     def add_ops(self, ops: int) -> None:
         """Attribute *ops* operations to this phase without a new BBV."""
@@ -131,7 +137,7 @@ class PhaseProfile:
 
     def __repr__(self) -> str:
         return (
-            f"PhaseProfile(id={self.phase_id}, bbvs={self.bbv_count}, "
+            f"PhaseProfile(id={self.phase_id}, vectors={self.vector_count}, "
             f"ops={self.ops}, samples={self.n_samples}, "
             f"mean_ipc={self.mean_ipc:.3f})"
         )

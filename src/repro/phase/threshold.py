@@ -21,7 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..bbv.vector import angle_between
+from ..signals.vector import angle_between
 from ..errors import SamplingError
 from .classifier import OnlinePhaseClassifier
 

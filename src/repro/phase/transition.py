@@ -21,7 +21,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..bbv.vector import angle_between
+from ..signals.vector import angle_between
 from ..errors import SamplingError
 
 __all__ = ["RefinedTransition", "TransitionRefiner"]

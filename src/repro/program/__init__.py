@@ -23,7 +23,9 @@ from .trace_io import EventTrace, TraceStream, record_trace
 from .inspect import DynamicProfile, StaticProfile, dynamic_profile, static_profile
 from .synthesis import SynthesisSpec, synthesize_program
 from .workloads import (
+    ADVERSARIAL_NAMES,
     WORKLOAD_NAMES,
+    adversarial_suite,
     get_workload,
     paper_suite,
     wupwise_analogue,
@@ -49,7 +51,9 @@ __all__ = [
     "dynamic_profile",
     "SynthesisSpec",
     "synthesize_program",
+    "ADVERSARIAL_NAMES",
     "WORKLOAD_NAMES",
+    "adversarial_suite",
     "get_workload",
     "paper_suite",
     "wupwise_analogue",

@@ -210,6 +210,41 @@ class BlockBuilder:
             is_write=is_write,
         )
 
+    def twin(
+        self, block: BasicBlock, mem_patterns: Sequence[MemPattern]
+    ) -> BasicBlock:
+        """A control-flow twin of *block* with different memory patterns.
+
+        The twin reuses *block*'s address and instruction sequence
+        verbatim, so its branch stream — and therefore its BBV
+        contribution — is indistinguishable from the original's; only
+        the generated address stream differs.  This is the building
+        block of the adversarial workloads whose phases differ purely in
+        memory behaviour (visible to a MAV, invisible to a BBV).
+
+        The new patterns must match the original slot-for-slot in
+        direction (``is_write``) because the load/store opcodes are
+        reused as-is.
+        """
+        if len(mem_patterns) != len(block.mem_patterns):
+            raise ProgramError(
+                "a twin needs exactly one pattern per memory instruction"
+            )
+        for old, new in zip(block.mem_patterns, mem_patterns):
+            if old.is_write != new.is_write:
+                raise ProgramError(
+                    "twin patterns must keep each slot's load/store direction"
+                )
+        twin = BasicBlock(
+            bid=self._next_bid,
+            address=block.address,
+            instructions=block.instructions,
+            mem_patterns=mem_patterns,
+            random_taken_prob=block.random_taken_prob,
+        )
+        self._next_bid += 1
+        return twin
+
     def build(
         self,
         ops: int,

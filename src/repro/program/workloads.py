@@ -42,7 +42,14 @@ from .block import BasicBlock, BlockBuilder
 from .mem_patterns import PatternKind
 from .program import Program, Segment
 
-__all__ = ["WORKLOAD_NAMES", "get_workload", "paper_suite", "wupwise_analogue"]
+__all__ = [
+    "ADVERSARIAL_NAMES",
+    "WORKLOAD_NAMES",
+    "adversarial_suite",
+    "get_workload",
+    "paper_suite",
+    "wupwise_analogue",
+]
 
 #: The ten benchmarks of the paper's Section 5 evaluation, in figure order.
 WORKLOAD_NAMES: Tuple[str, ...] = (
@@ -56,6 +63,17 @@ WORKLOAD_NAMES: Tuple[str, ...] = (
     "253.perlbmk",
     "256.bzip2",
     "300.twolf",
+)
+
+#: BBV-adversarial workloads (signal-ablation subjects): every phase pair
+#: executes byte-identical code via :meth:`BlockBuilder.twin`, so the
+#: branch stream — and the BBV — never changes; only the memory-access
+#: stream (and hence the IPC) does.  Deliberately *not* part of
+#: :data:`WORKLOAD_NAMES`: the paper's Section-5 suite and its cached
+#: results stay untouched.
+ADVERSARIAL_NAMES: Tuple[str, ...] = (
+    "adv.stride_flip",
+    "adv.footprint_step",
 )
 
 # Footprint sizes chosen relative to the 64 KB L1 / 1 MB L2 machine.
@@ -429,6 +447,100 @@ def wupwise_analogue(scale: ScaleConfig) -> Program:
     return Program("168.wupwise", kit.blocks, [zgemm, gammul], script, seed=168)
 
 
+# Adversarial pattern geometry.  Each phase's working set is a *short
+# deterministic address cycle* (span / stride addresses, far fewer than
+# one BBV sampling period's executions), so the per-period MAV is
+# stationary inside a phase; hostility comes from *conflict* misses, not
+# footprint: a stride of one cache-way maps every address to the same
+# set, and a cycle longer than the associativity evicts on every access.
+_L1_WAY = 16 * 1024  # 64 KB / 4 ways: stride -> one L1 set, L2-resident
+_L2_WAY = 128 * 1024  # 1 MB / 8 ways: stride -> one L1 *and* L2 set
+
+
+def _adv_stride_flip(scale: ScaleConfig) -> Program:
+    """Two phases over byte-identical code: L1-resident streaming flips
+    to a memory-latency conflict chain.  The BBV stream is unchanged
+    across the flip; the memory stream (and IPC) is not."""
+    total = scale.benchmark_ops
+    kit = _WorkloadKit(seed=901)
+    b = kit.builder
+    friendly_pats = [
+        b.pattern(PatternKind.REUSE, _L1_FIT, stride=256),
+        b.pattern(PatternKind.REUSE, _L1_FIT, stride=256, is_write=True),
+    ]
+    core = kit._add(
+        b.build(20, mix="mixed", dep_density=0.30, mem_patterns=friendly_pats)
+    )
+    # 32 addresses one L2 way apart: same L1 and L2 set, 32 > assoc at
+    # both levels, so every access conflict-misses to memory.
+    hostile_pats = [
+        b.pattern(PatternKind.REUSE, 32 * _L2_WAY, stride=_L2_WAY),
+        b.pattern(
+            PatternKind.REUSE, 32 * _L2_WAY, stride=_L2_WAY, is_write=True
+        ),
+    ]
+    core_hostile = kit._add(b.twin(core, hostile_pats))
+    glue_pats = [b.pattern(PatternKind.REUSE, _L1_FIT, stride=256)]
+    glue = kit._add(
+        b.build(24, mix="int_light", dep_density=0.10, mem_patterns=glue_pats)
+    )
+    # Identical (block-address, iteration) structure in both behaviours —
+    # zero jitter keeps the two branch streams exactly equal.
+    friendly = Behavior("friendly", [(core, 20), (glue, 10)])
+    hostile = Behavior("hostile", [(core_hostile, 20), (glue, 10)])
+    rng = random.Random(9010)
+    script = _fill_script(
+        rng,
+        [("friendly", total // 8, 0), ("hostile", total // 8, 0)],
+        total,
+    )
+    return Program(
+        "adv.stride_flip", kit.blocks, [friendly, hostile], script, seed=901
+    )
+
+
+def _adv_footprint_step(scale: ScaleConfig) -> Program:
+    """Three phases over byte-identical code stepping the access latency
+    L1 hit -> L2 hit -> memory.  Each step moves the IPC without moving
+    a single branch."""
+    total = scale.benchmark_ops
+    kit = _WorkloadKit(seed=902)
+    b = kit.builder
+    near_pats = [b.pattern(PatternKind.REUSE, _L1_FIT, stride=256)]
+    core = kit._add(
+        b.build(18, mix="int", dep_density=0.25, mem_patterns=near_pats)
+    )
+    # 64 addresses one L1 way apart: one L1 set (misses), spread thinly
+    # enough across L2 sets to stay L2-resident (hits).
+    mid_pats = [b.pattern(PatternKind.REUSE, 64 * _L1_WAY, stride=_L1_WAY)]
+    core_mid = kit._add(b.twin(core, mid_pats))
+    # 32 addresses one L2 way apart: conflict-miss to memory (see above).
+    far_pats = [b.pattern(PatternKind.REUSE, 32 * _L2_WAY, stride=_L2_WAY)]
+    core_far = kit._add(b.twin(core, far_pats))
+    glue_pats = [b.pattern(PatternKind.REUSE, _L1_FIT, stride=256)]
+    glue = kit._add(
+        b.build(22, mix="fp", dep_density=0.15, mem_patterns=glue_pats)
+    )
+    behaviors = [
+        Behavior("near", [(core, 25), (glue, 10)]),
+        Behavior("mid", [(core_mid, 25), (glue, 10)]),
+        Behavior("far", [(core_far, 25), (glue, 10)]),
+    ]
+    rng = random.Random(9020)
+    script = _fill_script(
+        rng,
+        [
+            ("near", total // 9, 0),
+            ("mid", total // 9, 0),
+            ("far", total // 9, 0),
+        ],
+        total,
+    )
+    return Program(
+        "adv.footprint_step", kit.blocks, behaviors, script, seed=902
+    )
+
+
 #: Builder registry keyed by benchmark name.
 _BUILDERS: Dict[str, Callable[[ScaleConfig], Program]] = {
     "164.gzip": _gzip,
@@ -442,6 +554,8 @@ _BUILDERS: Dict[str, Callable[[ScaleConfig], Program]] = {
     "256.bzip2": _bzip2,
     "300.twolf": _twolf,
     "168.wupwise": wupwise_analogue,
+    "adv.stride_flip": _adv_stride_flip,
+    "adv.footprint_step": _adv_footprint_step,
 }
 
 
@@ -449,7 +563,8 @@ def get_workload(name: str, scale: ScaleConfig = Scale.SCALED) -> Program:
     """Build the named workload at the given scale.
 
     Args:
-        name: one of :data:`WORKLOAD_NAMES` or ``"168.wupwise"``.
+        name: one of :data:`WORKLOAD_NAMES`, :data:`ADVERSARIAL_NAMES`,
+            or ``"168.wupwise"``.
         scale: interval-scale configuration.
     """
     try:
@@ -464,3 +579,8 @@ def get_workload(name: str, scale: ScaleConfig = Scale.SCALED) -> Program:
 def paper_suite(scale: ScaleConfig = Scale.SCALED) -> List[Program]:
     """The ten Section-5 benchmarks, in the paper's figure order."""
     return [get_workload(name, scale) for name in WORKLOAD_NAMES]
+
+
+def adversarial_suite(scale: ScaleConfig = Scale.SCALED) -> List[Program]:
+    """The BBV-adversarial signal-ablation subjects."""
+    return [get_workload(name, scale) for name in ADVERSARIAL_NAMES]

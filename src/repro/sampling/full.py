@@ -17,7 +17,7 @@ from typing import Any, List, Optional
 
 import numpy as np
 
-from ..bbv import BbvTracker, ReducedBbvHash
+from ..signals import BbvTracker, ReducedBbvHash
 from ..config import DEFAULT_MACHINE, MachineConfig
 from ..cpu import Mode, SimulationEngine
 from ..cpu.checkpoints import CheckpointFile

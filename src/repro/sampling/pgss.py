@@ -33,13 +33,13 @@ import math
 from dataclasses import dataclass
 from typing import Any, Generator, List, Optional, Tuple
 
-from ..bbv import BbvTracker, ReducedBbvHash, WideBbvHash
 from ..config import DEFAULT_MACHINE, MachineConfig, ScaleConfig
 from ..cpu import Mode, SimulationEngine
 from ..errors import ConfigurationError, SamplingError
 from ..events import EstimateUpdated, EventBus
 from ..phase import OnlinePhaseClassifier, PhaseProfile
 from ..program import Program
+from ..signals import PHASE_SIGNALS, SignalTracker, make_signal_tracker
 from ..stats.estimators import stratified_ratio_ipc
 from .base import SamplingResult, SamplingTechnique
 from .session import (
@@ -78,6 +78,11 @@ class PgssConfig:
         fixed_samples_per_phase: when set, ignore confidence bounds and
             take exactly this many samples per phase (ablation).
         hash_seed: seed of the 5-bit hash bit choice.
+        phase_signal: phase-signal family driving classification:
+            ``"bbv"`` (paper default), ``"mav"`` (memory-access vector),
+            or ``"concat"`` (BBV + MAV concatenated).
+        mav_buckets: MAV register-file width per granularity (only used
+            when the signal includes a MAV).
     """
 
     bbv_period_ops: int
@@ -93,8 +98,15 @@ class PgssConfig:
     use_spread_rule: bool = True
     fixed_samples_per_phase: Optional[int] = None
     hash_seed: int = 12345
+    phase_signal: str = "bbv"
+    mav_buckets: int = 32
 
     def __post_init__(self) -> None:
+        if self.phase_signal not in PHASE_SIGNALS:
+            raise ConfigurationError(
+                f"phase_signal must be one of {PHASE_SIGNALS}, "
+                f"got {self.phase_signal!r}"
+            )
         if self.bbv_period_ops <= self.detail_ops + self.warmup_ops:
             raise ConfigurationError(
                 "bbv_period_ops must exceed warmup_ops + detail_ops"
@@ -124,6 +136,7 @@ class PgssConfig:
             spread_ops=scale.pgss_spread,
             rel_error=budget.rel_error,
             confidence=budget.confidence,
+            phase_signal=scale.phase_signal,
         )
         params.update(overrides)
         return cls(
@@ -142,7 +155,10 @@ class PgssConfig:
             size = f"{p // 1_000}k"
         else:
             size = str(p)
-        return f"{size}/.{int(round(self.threshold_pi * 100)):02d}"
+        label = f"{size}/.{int(round(self.threshold_pi * 100)):02d}"
+        if self.phase_signal != "bbv":
+            label += f"/{self.phase_signal}"
+        return label
 
 
 class Pgss(SamplingTechnique):
@@ -156,11 +172,14 @@ class Pgss(SamplingTechnique):
         super().__init__(machine)
         self.config = config
 
-    def _make_tracker(self) -> BbvTracker:
+    def _make_tracker(self) -> SignalTracker:
         cfg = self.config
-        if cfg.wide_bbv_buckets is not None:
-            return BbvTracker(WideBbvHash(cfg.wide_bbv_buckets))
-        return BbvTracker(ReducedBbvHash(seed=cfg.hash_seed))
+        return make_signal_tracker(
+            cfg.phase_signal,
+            hash_seed=cfg.hash_seed,
+            wide_bbv_buckets=cfg.wide_bbv_buckets,
+            mav_buckets=cfg.mav_buckets,
+        )
 
     def make_controller(
         self, engine: SimulationEngine, bus: Optional[EventBus] = None
@@ -168,7 +187,8 @@ class Pgss(SamplingTechnique):
         """Bind a stepping controller to an engine built for this config.
 
         The engine must carry a tracker from :meth:`_make_tracker` (the
-        controller reads the BBV register file at each period boundary).
+        controller reads the signal register file at each period
+        boundary).
         """
         return PgssController(engine, self.config, bus=bus)
 
@@ -177,7 +197,7 @@ class Pgss(SamplingTechnique):
     ) -> SamplingResult:
         """Execute the Fig. 5 loop over *program*."""
         engine = SimulationEngine(
-            program, machine=self.machine, bbv_tracker=self._make_tracker()
+            program, machine=self.machine, signal_tracker=self._make_tracker()
         )
         controller = PgssController(engine, self.config, bus=bus)
         controller.run()
@@ -206,8 +226,10 @@ class PgssController:
         config: PgssConfig,
         bus: Optional[EventBus] = None,
     ) -> None:
-        if engine.bbv_tracker is None:
-            raise ConfigurationError("PGSS requires an engine with a BBV tracker")
+        if engine.signal_tracker is None:
+            raise ConfigurationError(
+                "PGSS requires an engine with a phase-signal tracker"
+            )
         self.engine = engine
         self.config = config
         self.session = SamplingSession(engine, bus=bus)
@@ -294,7 +316,7 @@ class PgssController:
                 Mode.FUNC_WARM, self._ff_ops, role=SegmentRole.FAST_FORWARD
             )
             self._ops_unattributed += ff.run.ops
-            vector = engine.bbv_tracker.take_vector(normalize=True)
+            vector = engine.signal_tracker.take_vector(normalize=True)
             classifier.observe(vector, self._ops_unattributed)
             self._ops_unattributed = 0
             phase = classifier.current_phase

@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..bbv import BbvTracker, ReducedBbvHash
+from ..signals import BbvTracker, ReducedBbvHash
 from ..clustering import choose_k, kmeans
 from ..config import DEFAULT_MACHINE, MachineConfig
 from ..cpu import Mode, ModeAccounting, SimulationEngine

@@ -3,8 +3,8 @@
 The recipe from "CPU Simulation Using Two-Phase Stratified Sampling":
 
 1. **Stage 1 — cheap strata.**  A FUNC_FAST profiling pass (op counting
-   plus the always-on reduced-BBV hardware) assigns every fixed-length
-   interval an online phase id.  The phases are the strata; no cycle-
+   plus the always-on phase-signal hardware, reduced BBV by default)
+   assigns every fixed-length interval an online phase id.  The phases are the strata; no cycle-
    accurate work is spent yet.
 2. **Pilot probe.**  A small fixed number of detailed samples per
    stratum (``pilot_per_stratum``) estimates each stratum's IPC standard
@@ -33,13 +33,13 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..bbv import BbvTracker, ReducedBbvHash
 from ..config import DEFAULT_MACHINE, MachineConfig, ScaleConfig
 from ..cpu import Mode, ModeAccounting, SimulationEngine
 from ..errors import ConfigurationError, SamplingError
 from ..events import EstimateUpdated, EventBus
 from ..phase import OnlinePhaseClassifier
 from ..program import Program
+from ..signals import PHASE_SIGNALS, make_signal_tracker
 from ..stats.ci import ConfidenceInterval
 from ..stats.estimators import stratified_ratio_ipc
 from ..stats.sampling_theory import neyman_allocation, stratified_mean_ci
@@ -72,6 +72,10 @@ class TwoPhaseStratifiedConfig:
         confidence: confidence level of the reported interval.
         metric: phase-distance metric (``"angle"`` or ``"manhattan"``).
         hash_seed: seed of the reduced-BBV hash bit choice.
+        phase_signal: phase-signal family producing the strata
+            (``"bbv"``, ``"mav"``, or ``"concat"``).
+        mav_buckets: MAV register-file width per granularity (only used
+            when the signal includes a MAV).
     """
 
     interval_ops: int
@@ -83,8 +87,15 @@ class TwoPhaseStratifiedConfig:
     confidence: float = 0.997
     metric: str = "angle"
     hash_seed: int = 12345
+    phase_signal: str = "bbv"
+    mav_buckets: int = 32
 
     def __post_init__(self) -> None:
+        if self.phase_signal not in PHASE_SIGNALS:
+            raise ConfigurationError(
+                f"phase_signal must be one of {PHASE_SIGNALS}, "
+                f"got {self.phase_signal!r}"
+            )
         if self.interval_ops <= self.detail_ops + self.warmup_ops:
             raise ConfigurationError(
                 "interval_ops must exceed warmup_ops + detail_ops"
@@ -109,6 +120,7 @@ class TwoPhaseStratifiedConfig:
             detail_ops=budget.detail_ops,
             warmup_ops=budget.warmup_ops,
             confidence=budget.confidence,
+            phase_signal=scale.phase_signal,
         )
         params.update(overrides)
         return cls(**params)
@@ -116,10 +128,13 @@ class TwoPhaseStratifiedConfig:
     @property
     def label(self) -> str:
         """Short config label, e.g. ``"8kx2p16"``."""
-        return (
+        label = (
             f"{_fmt_ops(self.interval_ops)}x"
             f"{self.pilot_per_stratum}p{self.total_samples}"
         )
+        if self.phase_signal != "bbv":
+            label += f"/{self.phase_signal}"
+        return label
 
 
 def _fmt_ops(n: int) -> str:
@@ -180,9 +195,13 @@ class TwoPhaseStratified(SamplingTechnique):
     ) -> Tuple[List[int], List[int], SimulationEngine]:
         """Stage 1: per-interval phase ids and op counts (FUNC_FAST)."""
         cfg = self.config
-        tracker = BbvTracker(ReducedBbvHash(seed=cfg.hash_seed))
+        tracker = make_signal_tracker(
+            cfg.phase_signal,
+            hash_seed=cfg.hash_seed,
+            mav_buckets=cfg.mav_buckets,
+        )
         engine = SimulationEngine(
-            program, machine=self.machine, bbv_tracker=tracker
+            program, machine=self.machine, signal_tracker=tracker
         )
         session = SamplingSession(engine, bus=bus)
         classifier = OnlinePhaseClassifier(

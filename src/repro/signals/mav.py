@@ -1,0 +1,204 @@
+"""Memory-access-vector (MAV) tracking: the second phase signal.
+
+BBVs project program behaviour onto control flow, so two phases that
+execute the *same* blocks over *different* data are indistinguishable to
+them (Caculo et al., PAPERS.md).  :class:`MavTracker` projects behaviour
+onto the memory stream instead: every dynamic access is reduced to its
+cache-line and page identity, and each granularity hashes into its own
+small register file of access counts.  The compiled vector is the
+concatenation ``[line buckets | page buckets]`` — the line half captures
+fine-grained spatial locality, the page half the coarse footprint — and
+is L2-normalised and angle-compared exactly like a BBV.
+
+Closed-form batching mirrors the BBV credit telescoping.  A
+:class:`~repro.program.MemPattern` is a pure function of its block's
+execution count *k* (that is what makes checkpoints tiny), so the
+address stream of a :class:`~repro.program.BlockRun` covering
+``k_start .. k_start+n-1`` is computable without expanding events:
+:func:`pattern_addresses` evaluates the strided and hashed generators
+over a whole ``k`` range with numpy integer arithmetic that reproduces
+``MemPattern.address`` bit-for-bit (products are masked to 32 bits, so
+uint64 wraparound is unobservable).  All register increments are
+integer-valued counts far below 2**53, so float64 accumulation is exact
+and the scalar and batched paths produce bit-identical register files —
+the property ``tests/test_signals.py`` pins with hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..program.block import BasicBlock
+from ..program.mem_patterns import MemPattern, PatternKind
+from .base import pack_registers, unpack_registers
+from .vector import l2_norm
+
+if TYPE_CHECKING:
+    from ..program.stream import BlockRun
+
+__all__ = ["MavTracker", "pattern_addresses"]
+
+#: Knuth multiplicative-hash constant (same family as the pattern hash).
+_HASH_MULT = 2654435761
+_AVALANCHE_MULT = 0x45D9F3B
+_MASK32 = 0xFFFFFFFF
+
+
+def pattern_addresses(pattern: MemPattern, ks: np.ndarray) -> np.ndarray:
+    """Vectorised :meth:`~repro.program.MemPattern.address` over *ks*.
+
+    Evaluates the pattern's address generator for every execution count
+    in *ks* (int64, non-negative) in one shot, bit-identical to the
+    scalar method: strided kinds are plain int64 arithmetic, hashed
+    kinds replay the 32-bit avalanche in uint64 (the 32-bit masks make
+    modulo-2**64 wraparound indistinguishable from Python's
+    arbitrary-precision product).
+    """
+    if pattern.kind is PatternKind.STREAM or pattern.kind is PatternKind.REUSE:
+        return pattern.base + (ks * pattern.stride) % pattern.span
+    h = (ks.astype(np.uint64) + np.uint64(pattern.seed)) * np.uint64(
+        _HASH_MULT
+    ) & np.uint64(_MASK32)
+    h ^= h >> np.uint64(16)
+    h = h * np.uint64(_AVALANCHE_MULT) & np.uint64(_MASK32)
+    h ^= h >> np.uint64(16)
+    offsets = (h % np.uint64(pattern.span)) & ~np.uint64(0x7)
+    return (np.uint64(pattern.base) + offsets).astype(np.int64)
+
+
+class MavTracker:
+    """Accumulates a reduced memory-access vector over a sampling period.
+
+    Args:
+        n_buckets: register-file width per granularity; the compiled
+            vector has ``2 * n_buckets`` entries.
+        line_bits: log2 of the cache-line size addresses are reduced to
+            (64-byte lines by default, matching the machine model).
+        page_bits: log2 of the page size for the coarse half.
+
+    The tracker is engine-attachable exactly like
+    :class:`~repro.signals.BbvTracker` and implements the same
+    :class:`~repro.signals.SignalTracker` protocol; unlike the BBV it
+    consumes the execution count *k* carried by each event, because the
+    address stream — not the branch stream — is the signal.
+    """
+
+    def __init__(
+        self, n_buckets: int = 32, line_bits: int = 6, page_bits: int = 12
+    ) -> None:
+        if n_buckets < 2:
+            raise ConfigurationError("n_buckets must be at least 2")
+        if not 0 <= line_bits <= page_bits:
+            raise ConfigurationError(
+                "need 0 <= line_bits <= page_bits for the two granularities"
+            )
+        self.n_buckets = n_buckets
+        self.line_bits = line_bits
+        self.page_bits = page_bits
+        self._registers: np.ndarray = np.zeros(2 * n_buckets, dtype=np.float64)
+        self.total_ops = 0
+        #: Dynamic memory accesses observed since construction / reset.
+        self.total_accesses = 0
+
+    def _bucket(self, unit: int) -> int:
+        """Bucket of one line/page number (scalar multiplicative hash)."""
+        return (unit * _HASH_MULT & _MASK32) % self.n_buckets
+
+    def _bucket_batch(self, units: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_bucket` (bit-identical; see module doc)."""
+        mixed = units.astype(np.uint64) * np.uint64(_HASH_MULT) & np.uint64(
+            _MASK32
+        )
+        return (mixed % np.uint64(self.n_buckets)).astype(np.int64)
+
+    def record(self, block: BasicBlock, taken: bool, k: int = 0) -> None:
+        """Observe one dynamic basic-block execution.
+
+        Every memory instruction in *block* generates its *k*-th address;
+        the access is counted once at line granularity and once at page
+        granularity.  The branch outcome is irrelevant to this signal.
+        """
+        self.total_ops += block.n_ops
+        patterns = block.mem_patterns
+        if not patterns:
+            return
+        registers = self._registers
+        n_buckets = self.n_buckets
+        for pattern in patterns:
+            address = pattern.address(k)
+            registers[self._bucket(address >> self.line_bits)] += 1.0
+            registers[n_buckets + self._bucket(address >> self.page_bits)] += 1.0
+        self.total_accesses += len(patterns)
+
+    def record_batch(self, runs: Sequence["BlockRun"]) -> None:
+        """Observe a batch of run-length records in closed form.
+
+        For each run the whole ``k`` range is materialised once and every
+        pattern's address stream is generated vectorised; per-bucket
+        counts come from one ``bincount`` per (run, pattern, granularity).
+        Counts are integers, so the float64 register file ends
+        bit-identical to the scalar path.
+        """
+        registers = self._registers
+        n_buckets = self.n_buckets
+        for run in runs:
+            block = run.block
+            self.total_ops += run.n * block.n_ops
+            patterns = block.mem_patterns
+            if not patterns:
+                continue
+            ks = np.arange(run.k_start, run.k_start + run.n, dtype=np.int64)
+            for pattern in patterns:
+                addresses = pattern_addresses(pattern, ks)
+                registers[:n_buckets] += np.bincount(
+                    self._bucket_batch(addresses >> self.line_bits),
+                    minlength=n_buckets,
+                )
+                registers[n_buckets:] += np.bincount(
+                    self._bucket_batch(addresses >> self.page_bits),
+                    minlength=n_buckets,
+                )
+            self.total_accesses += run.n * len(patterns)
+
+    def take_vector(self, normalize: bool = True) -> np.ndarray:
+        """Compile the register file into a vector and reset it in place.
+
+        Args:
+            normalize: L2-normalise the result (the comparison form).
+        """
+        vec = self._registers.copy()
+        self._registers.fill(0.0)
+        if normalize:
+            norm = l2_norm(vec)
+            if norm > 0.0:
+                vec /= norm
+        return vec
+
+    def peek_vector(self) -> np.ndarray:
+        """Current raw (unnormalised) register contents, without reset."""
+        return self._registers.copy()
+
+    def reset(self) -> None:
+        """Clear registers (in place) and both counters."""
+        self._registers.fill(0.0)
+        self.total_ops = 0
+        self.total_accesses = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture tracker state for checkpointing (compact buffer form)."""
+        return {
+            "registers": pack_registers(self._registers),
+            "total_ops": self.total_ops,
+            "total_accesses": self.total_accesses,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self._registers = unpack_registers(
+            state["registers"], 2 * self.n_buckets
+        )
+        self.total_ops = state["total_ops"]  # type: ignore[assignment]
+        self.total_accesses = state["total_accesses"]  # type: ignore[assignment]

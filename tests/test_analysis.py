@@ -670,10 +670,13 @@ class TestRealTree:
         for pkg in (
             "analysis",
             "bbv",
+            "clustering",
             "cpu",
             "experiments",
+            "phase",
             "program",
             "sampling",
+            "signals",
             "stats",
         ):
             gated.extend(sorted((SRC_REPRO / pkg).rglob("*.py")))

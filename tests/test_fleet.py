@@ -250,6 +250,28 @@ class TestWorker:
         assert queue.drained()
         assert list((queue.root / "checkpoints").iterdir()) == []
 
+    def test_worker_writes_per_task_logs(self, tmp_path):
+        queue = make_queue(tmp_path)
+        job = submit_traces(queue, tmp_path / "cache")
+        Worker(queue, worker_id="w1", drain=True, poll_s=0.01).run()
+        manifest = queue.manifest(job)
+        state = queue.status(job)
+        assert len(state.logs) == len(manifest["tasks"])
+        for name in manifest["tasks"]:
+            log = queue.log_path(name)
+            assert log.exists()
+            text = log.read_text()
+            assert "claim cell=" in text and "worker=w1" in text
+            assert "finish cell=" in text and "status=ok" in text
+            # The done-record carries the log path for post-mortems.
+            done = json.loads(
+                (queue.root / "done" / f"{name}.json").read_text()
+            )
+            assert done["log"] == str(log)
+        assert set(state.logs.values()) == {
+            str(queue.log_path(name)) for name in manifest["tasks"]
+        }
+
     def test_max_cells_bounds_the_loop(self, tmp_path):
         queue = make_queue(tmp_path)
         submit_traces(queue, tmp_path / "cache")
@@ -477,7 +499,9 @@ class TestFleetCli:
         capsys.readouterr()
 
         assert main(["jobs", "status", "--queue", queue, job]) == 0
-        assert "done" in capsys.readouterr().out
+        status_out = capsys.readouterr().out
+        assert "done" in status_out
+        assert "logs:" in status_out and "task log(s)" in status_out
 
         assert main(["jobs", "fetch", "--queue", queue, job]) == 0
         assert "Figure 2" in capsys.readouterr().out

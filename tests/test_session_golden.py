@@ -21,7 +21,7 @@ import pytest
 
 from repro.experiments.cache import CACHE_VERSION
 
-from _golden import WORKLOADS, cache_keys, run_matrix
+from _golden import WORKLOADS, cache_keys, run_matrix, signal_matrix
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -51,3 +51,18 @@ class TestGoldenEquivalence:
     def test_cache_keys_byte_identical(self):
         fixture = json.loads((GOLDEN_DIR / "cache_keys.json").read_text())
         assert cache_keys() == fixture
+
+
+class TestSignalGolden:
+    """Pin PGSS under every phase signal on the adversarial workloads."""
+
+    def test_signal_results_byte_identical(self):
+        fixture = json.loads((GOLDEN_DIR / "signals.json").read_text())
+        got = signal_matrix()
+        assert sorted(got) == sorted(fixture)
+        for workload in fixture:
+            for signal in fixture[workload]:
+                assert got[workload][signal] == fixture[workload][signal], (
+                    f"PGSS/{signal} on {workload} diverged from the "
+                    f"golden phase-signal output"
+                )

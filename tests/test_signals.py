@@ -1,0 +1,419 @@
+"""The phase-signal layer: MAV correctness, concatenation, sensitivity.
+
+Three claims are pinned here:
+
+* the MAV's closed-form batching (``pattern_addresses`` +
+  ``record_batch``) is *bit-identical* to the scalar event loop, the
+  same gate ``tests/test_batched_equivalence.py`` holds the BBV to;
+* tracker snapshots use the compact buffer form and still restore the
+  historical list payloads (checkpoint back-compat);
+* the signals differ where they should: a phase change visible only in
+  the memory stream (control-flow twin blocks) is invisible to the BBV
+  classifier and detected by the MAV and the concatenated signal.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Behavior,
+    BbvTracker,
+    BlockBuilder,
+    ConcatenatedSignal,
+    MavTracker,
+    Mode,
+    PatternKind,
+    Program,
+    ProgramStream,
+    Scale,
+    Segment,
+    SimulationEngine,
+    get_workload,
+    make_signal_tracker,
+)
+from repro.errors import ConfigurationError, ProgramError
+from repro.phase import OnlinePhaseClassifier
+from repro.program import ADVERSARIAL_NAMES
+from repro.signals import PHASE_SIGNALS, pattern_addresses
+from conftest import make_two_phase_program
+
+
+# ----------------------------------------------------------------------
+# pattern_addresses: the vectorised MemPattern.address
+
+
+class TestPatternAddresses:
+    @given(
+        kind=st.sampled_from(list(PatternKind)),
+        base=st.integers(min_value=0, max_value=1 << 40),
+        span=st.integers(min_value=1, max_value=1 << 24),
+        stride=st.integers(min_value=1, max_value=1 << 16),
+        seed=st.integers(min_value=0, max_value=(1 << 16) - 1),
+        ks=st.lists(
+            st.integers(min_value=0, max_value=1 << 30),
+            min_size=1,
+            max_size=64,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scalar_address(self, kind, base, span, stride, seed, ks):
+        from repro.program.mem_patterns import MemPattern
+
+        pattern = MemPattern(
+            kind=kind, base=base, span=span, stride=stride, seed=seed
+        )
+        batched = pattern_addresses(
+            pattern, np.array(ks, dtype=np.int64)
+        )
+        scalar = [pattern.address(k) for k in ks]
+        assert batched.tolist() == scalar
+
+
+# ----------------------------------------------------------------------
+# MavTracker: construction, accumulation, compile/reset
+
+
+class TestMavTracker:
+    def _block(self, seed=11, n_patterns=2):
+        b = BlockBuilder(seed=seed)
+        pats = [
+            b.pattern(PatternKind.REUSE, 8 * 1024, stride=64),
+            b.pattern(PatternKind.RANDOM, 1 << 20),
+        ][:n_patterns]
+        return b.build(ops=16, mix="int", mem_patterns=pats)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            MavTracker(n_buckets=1)
+        with pytest.raises(ConfigurationError):
+            MavTracker(line_bits=13, page_bits=12)
+
+    def test_record_counts_ops_and_accesses(self):
+        tracker = MavTracker(n_buckets=8)
+        block = self._block()
+        for k in range(5):
+            tracker.record(block, True, k=k)
+        assert tracker.total_ops == 5 * block.n_ops
+        assert tracker.total_accesses == 5 * len(block.mem_patterns)
+        raw = tracker.peek_vector()
+        assert raw.shape == (16,)
+        # One line-count and one page-count per dynamic access.
+        assert raw[:8].sum() == tracker.total_accesses
+        assert raw[8:].sum() == tracker.total_accesses
+
+    def test_take_vector_normalises_and_resets(self):
+        tracker = MavTracker(n_buckets=8)
+        tracker.record(self._block(), True, k=0)
+        vec = tracker.take_vector(normalize=True)
+        assert math.isclose(float(np.linalg.norm(vec)), 1.0)
+        assert not tracker.peek_vector().any()
+        # Empty period: the zero vector comes back unscaled.
+        assert not tracker.take_vector(normalize=True).any()
+
+    def test_blocks_without_memory_still_count_ops(self):
+        b = BlockBuilder(seed=3)
+        block = b.build(ops=10, mix="int_light")
+        tracker = MavTracker()
+        tracker.record(block, False, k=4)
+        assert tracker.total_ops == block.n_ops
+        assert tracker.total_accesses == 0
+        assert not tracker.peek_vector().any()
+
+    def test_snapshot_is_compact_and_round_trips(self):
+        tracker = MavTracker(n_buckets=8)
+        for k in range(9):
+            tracker.record(self._block(), True, k=k)
+        snap = tracker.snapshot()
+        assert isinstance(snap["registers"], bytes)
+        assert len(snap["registers"]) == 16 * 8  # raw float64 buffer
+        other = MavTracker(n_buckets=8)
+        other.restore(snap)
+        assert np.array_equal(other.peek_vector(), tracker.peek_vector())
+        assert other.total_ops == tracker.total_ops
+        assert other.total_accesses == tracker.total_accesses
+
+    def test_restore_accepts_legacy_list_payload(self):
+        """Checkpoints written before the compact form stay restorable."""
+        tracker = MavTracker(n_buckets=4)
+        legacy = {
+            "registers": [float(i) for i in range(8)],
+            "total_ops": 123,
+            "total_accesses": 7,
+        }
+        tracker.restore(legacy)
+        assert tracker.peek_vector().tolist() == [float(i) for i in range(8)]
+        assert tracker.total_ops == 123
+
+    def test_restore_rejects_wrong_width_and_bad_payload(self):
+        tracker = MavTracker(n_buckets=8)
+        with pytest.raises(ConfigurationError):
+            tracker.restore(
+                {"registers": [0.0] * 4, "total_ops": 0, "total_accesses": 0}
+            )
+        with pytest.raises(ConfigurationError):
+            tracker.restore(
+                {"registers": 3.14, "total_ops": 0, "total_accesses": 0}
+            )
+
+    def test_bbv_snapshot_compact_with_legacy_restore(self):
+        """The checkpoint-size fix: BBV registers serialise as one raw
+        buffer (8 bytes/bucket), while pre-compact list payloads still
+        restore — old fleet checkpoints stay valid."""
+        b = BlockBuilder(seed=21)
+        block = b.build(ops=12, mix="int")
+        tracker = BbvTracker()
+        tracker.record(block, taken=True)
+        snap = tracker.snapshot()
+        assert isinstance(snap["registers"], bytes)
+        assert len(snap["registers"]) == tracker.n_buckets * 8
+        legacy = dict(snap, registers=list(tracker.peek_vector()))
+        other = BbvTracker()
+        other.restore(legacy)
+        assert np.array_equal(other.peek_vector(), tracker.peek_vector())
+
+
+# ----------------------------------------------------------------------
+# Scalar vs. batched bit-identity — the MAV's batching correctness gate.
+
+
+def _programs():
+    return {
+        "two_phase": make_two_phase_program(),
+        "adv.stride_flip": get_workload("adv.stride_flip", Scale.QUICK),
+        "164.gzip": get_workload("164.gzip", Scale.QUICK),
+    }
+
+
+class TestMavBatchedEquivalence:
+    @pytest.mark.parametrize(
+        "name", ("two_phase", "adv.stride_flip", "164.gzip")
+    )
+    def test_full_stream_registers_bit_identical(self, name):
+        program = _programs()[name]
+        scalar, batched = MavTracker(), MavTracker()
+        stream_a, stream_b = ProgramStream(program), ProgramStream(program)
+        for event in stream_a:
+            scalar.record(event.block, event.taken, k=event.k)
+        batched.record_batch(stream_b.next_events(10**9))
+        assert np.array_equal(scalar.peek_vector(), batched.peek_vector())
+        assert scalar.total_ops == batched.total_ops
+        assert scalar.total_accesses == batched.total_accesses
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=20_000),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bit_identity_at_arbitrary_batch_boundaries(self, batches):
+        """The hypothesis gate: any batch partition of the stream leaves
+        the scalar and batched register files bit-identical."""
+        program = make_two_phase_program()
+        scalar, batched = MavTracker(), MavTracker()
+        stream_a, stream_b = ProgramStream(program), ProgramStream(program)
+        for max_ops in batches:
+            got = 0
+            while got < max_ops:
+                event = stream_a.next_event()
+                if event is None:
+                    break
+                scalar.record(event.block, event.taken, k=event.k)
+                got += event.block.n_ops
+            batched.record_batch(stream_b.next_events(max_ops))
+            assert np.array_equal(
+                scalar.peek_vector(), batched.peek_vector()
+            )
+            assert scalar.total_ops == batched.total_ops
+
+    @pytest.mark.parametrize("signal", PHASE_SIGNALS)
+    def test_engine_vector_sequence_identical(self, signal):
+        """Period-boundary vectors are bit-identical between the scalar
+        and batched engines, for every signal kind."""
+        program = get_workload("adv.footprint_step", Scale.QUICK)
+        engines = [
+            SimulationEngine(
+                program,
+                signal_tracker=make_signal_tracker(signal),
+                batched=batched,
+            )
+            for batched in (False, True)
+        ]
+        while not engines[0].exhausted:
+            vecs = []
+            for engine in engines:
+                engine.run(Mode.FUNC_FAST, 8_000)
+                vecs.append(
+                    engine.signal_tracker.take_vector(normalize=True)
+                )
+            assert np.array_equal(vecs[0], vecs[1])
+        assert engines[1].exhausted
+
+
+# ----------------------------------------------------------------------
+# ConcatenatedSignal
+
+
+class TestConcatenatedSignal:
+    def _concat(self):
+        return ConcatenatedSignal([BbvTracker(), MavTracker(n_buckets=8)])
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            ConcatenatedSignal([])
+        with pytest.raises(ConfigurationError):
+            ConcatenatedSignal([BbvTracker()], weights=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            ConcatenatedSignal([BbvTracker()], weights=[0.0])
+
+    def test_vector_concatenates_children(self):
+        combined = self._concat()
+        b = BlockBuilder(seed=9)
+        block = b.build(
+            ops=12,
+            mix="int",
+            mem_patterns=[b.pattern(PatternKind.REUSE, 4096, stride=64)],
+        )
+        for k in range(6):
+            combined.record(block, True, k=k)
+        assert combined.total_ops == 6 * block.n_ops
+        vec = combined.take_vector(normalize=True)
+        assert vec.shape == (32 + 16,)
+        assert math.isclose(float(np.linalg.norm(vec)), 1.0)
+        # Equal weights: each child's half carries equal L2 mass.
+        assert math.isclose(
+            float(np.linalg.norm(vec[:32])), float(np.linalg.norm(vec[32:]))
+        )
+
+    def test_snapshot_round_trips_and_rejects_mismatch(self):
+        combined = self._concat()
+        b = BlockBuilder(seed=9)
+        block = b.build(
+            ops=12,
+            mix="int",
+            mem_patterns=[b.pattern(PatternKind.RANDOM, 1 << 16)],
+        )
+        combined.record(block, True, k=3)
+        snap = combined.snapshot()
+        other = self._concat()
+        other.restore(snap)
+        assert np.array_equal(other.peek_vector(), combined.peek_vector())
+        with pytest.raises(ConfigurationError):
+            ConcatenatedSignal([MavTracker()]).restore(snap)
+
+
+# ----------------------------------------------------------------------
+# The factory
+
+
+class TestMakeSignalTracker:
+    def test_resolves_each_knob_value(self):
+        assert isinstance(make_signal_tracker("bbv"), BbvTracker)
+        assert isinstance(make_signal_tracker("mav"), MavTracker)
+        assert isinstance(
+            make_signal_tracker("concat"), ConcatenatedSignal
+        )
+
+    def test_wide_bbv_and_mav_width_knobs(self):
+        wide = make_signal_tracker("bbv", wide_bbv_buckets=128)
+        assert wide.peek_vector().shape == (128,)
+        mav = make_signal_tracker("mav", mav_buckets=16)
+        assert mav.peek_vector().shape == (32,)
+
+    def test_unknown_signal_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_signal_tracker("dbv")
+
+
+# ----------------------------------------------------------------------
+# Sensitivity: what each signal can and cannot see.
+
+
+def _memory_only_program(ops_per_phase=30_000, seed=7):
+    """Two phases running *byte-identical code* over different data.
+
+    The hostile twin strides one L2 way through a 4 MB span, so every
+    access conflict-misses, while the friendly original stays inside an
+    8 KB reuse window — a large IPC and MAV difference with exactly zero
+    control-flow difference.
+    """
+    b = BlockBuilder(seed=seed)
+    friendly = b.build(
+        ops=20,
+        mix="int_light",
+        dep_density=0.1,
+        mem_patterns=[b.pattern(PatternKind.REUSE, 8 * 1024, stride=256)],
+    )
+    hostile = b.twin(
+        friendly,
+        [b.pattern(PatternKind.REUSE, 32 * 128 * 1024, stride=128 * 1024)],
+    )
+    behaviors = [
+        Behavior("friendly", [(friendly, 25)]),
+        Behavior("hostile", [(hostile, 25)]),
+    ]
+    script = [
+        Segment("friendly", ops_per_phase),
+        Segment("hostile", ops_per_phase),
+        Segment("friendly", ops_per_phase),
+        Segment("hostile", ops_per_phase),
+    ]
+    return Program(
+        "memory_only", [friendly, hostile], behaviors, script, seed=seed
+    )
+
+
+def _phases_seen(signal, program, period=10_000, threshold_pi=0.05):
+    tracker = make_signal_tracker(signal)
+    engine = SimulationEngine(program, signal_tracker=tracker)
+    classifier = OnlinePhaseClassifier(threshold_pi * math.pi)
+    while not engine.exhausted:
+        outcome = engine.run(Mode.FUNC_WARM, period)
+        if outcome.ops == 0:
+            break
+        classifier.observe(tracker.take_vector(normalize=True), outcome.ops)
+    return classifier.n_phases
+
+
+class TestSignalSensitivity:
+    def test_twin_blocks_require_matching_store_slots(self):
+        b = BlockBuilder(seed=1)
+        block = b.build(
+            ops=12,
+            mix="int",
+            mem_patterns=[
+                b.pattern(PatternKind.REUSE, 4096, stride=64, is_write=True)
+            ],
+        )
+        with pytest.raises(ProgramError):
+            b.twin(block, [b.pattern(PatternKind.REUSE, 4096, stride=64)])
+        with pytest.raises(ProgramError):
+            b.twin(block, [])
+
+    def test_memory_only_change_invisible_to_bbv(self):
+        """The BBV sees one phase: the twins share a branch stream."""
+        assert _phases_seen("bbv", _memory_only_program()) == 1
+
+    @pytest.mark.parametrize("signal", ("mav", "concat"))
+    def test_memory_only_change_detected_by_memory_signals(self, signal):
+        assert _phases_seen(signal, _memory_only_program()) >= 2
+
+    def test_control_flow_change_visible_to_all_signals(self):
+        """Sanity check the other direction: an ordinary control-flow
+        phase change is visible to every signal (concat by BBV half)."""
+        program = make_two_phase_program()
+        for signal in PHASE_SIGNALS:
+            assert _phases_seen(signal, program) >= 2
+
+    @pytest.mark.parametrize("name", ADVERSARIAL_NAMES)
+    def test_adversarial_workloads_are_bbv_blind(self, name):
+        """The shipped adversarial workloads have the same property the
+        inline twin program demonstrates."""
+        program = get_workload(name, Scale.QUICK)
+        assert _phases_seen("bbv", program) == 1
+        assert _phases_seen("mav", program) >= 2
